@@ -1,0 +1,94 @@
+// E8 — checker practicality (google-benchmark): cost of the Lemma 33
+// witness construction and full verification as schedule length and tree
+// size grow.
+//
+// Expected shape: witness build ~O(events x tracked transactions) with
+// merge spikes at COMMITs; full verification dominated by per-transaction
+// replay, near-linear in events for fixed tree size.
+#include <benchmark/benchmark.h>
+
+#include "checker/serial_correctness.h"
+#include "explore/random_walk.h"
+#include "explore/workload.h"
+#include "tx/visibility.h"
+
+using namespace nestedtx;
+
+namespace {
+
+WorkloadParams ParamsFor(int top_level) {
+  WorkloadParams p;
+  p.num_objects = 2;
+  p.num_top_level = static_cast<size_t>(top_level);
+  p.max_extra_depth = 1;
+  return p;
+}
+
+// Witness construction alone, sweeping system size.
+void BM_WitnessBuild(benchmark::State& state) {
+  const SystemType st = MakeRandomSystemType(ParamsFor(state.range(0)), 7);
+  const auto run = RandomLockingRun(st, 42);
+  if (!run.ok()) {
+    state.SkipWithError("run failed");
+    return;
+  }
+  for (auto _ : state) {
+    SerialWitnessBuilder builder(&st);
+    for (const Event& e : *run) {
+      benchmark::DoNotOptimize(builder.Feed(e));
+    }
+    benchmark::DoNotOptimize(builder.WitnessFor(TransactionId::Root()));
+  }
+  state.counters["events"] = static_cast<double>(run->size());
+}
+BENCHMARK(BM_WitnessBuild)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+// Full serial-correctness check at T0 (witness + write-equivalence +
+// serial replay + projection equality).
+void BM_FullCheckAtRoot(benchmark::State& state) {
+  const SystemType st = MakeRandomSystemType(ParamsFor(state.range(0)), 7);
+  const auto run = RandomLockingRun(st, 42);
+  if (!run.ok()) {
+    state.SkipWithError("run failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CheckSeriallyCorrect(st, *run, TransactionId::Root(), {}));
+  }
+  state.counters["events"] = static_cast<double>(run->size());
+}
+BENCHMARK(BM_FullCheckAtRoot)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+// Theorem-34-in-full: check at every non-orphan transaction.
+void BM_FullCheckAll(benchmark::State& state) {
+  const SystemType st = MakeRandomSystemType(ParamsFor(state.range(0)), 7);
+  const auto run = RandomLockingRun(st, 42);
+  if (!run.ok()) {
+    state.SkipWithError("run failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CheckSeriallyCorrectForAll(st, *run, {}));
+  }
+  state.counters["events"] = static_cast<double>(run->size());
+}
+BENCHMARK(BM_FullCheckAll)->Arg(2)->Arg(4)->Arg(8);
+
+// Visibility projection cost (used pervasively by the checker).
+void BM_VisibleProjection(benchmark::State& state) {
+  const SystemType st = MakeRandomSystemType(ParamsFor(8), 7);
+  const auto run = RandomLockingRun(st, 42);
+  if (!run.ok()) {
+    state.SkipWithError("run failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Visible(*run, TransactionId::Root()));
+  }
+}
+BENCHMARK(BM_VisibleProjection);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// E6 — contention behaviour: throughput vs. key-space size, skew, and
+// thread count, across CC modes.
+//
+// Transactions dwell 200us per access while holding locks (the Argus
+// I/O model; see DESIGN.md).
+//
+// Expected shape: with one hot write-shared key every scheme converges
+// toward serial throughput; as keys spread out (or reads dominate) the
+// locking schemes scale away from serial; Moss tracks or beats exclusive
+// throughout (its grants are a superset); exclusive stays near the
+// serial floor at 75% reads regardless of spread, because reads conflict
+// with reads; thread scaling lifts Moss but not exclusive.
+#include <cstdio>
+
+#include "engine_harness.h"
+
+using namespace nestedtx;
+using namespace nestedtx::bench;
+
+namespace {
+
+WorkloadConfig BaseConfig() {
+  WorkloadConfig cfg;
+  cfg.threads = 8;
+  cfg.read_ratio = 0.75;
+  cfg.dwell_us_per_access = 200;  // Argus-style I/O dwell; see DESIGN.md
+  cfg.duration_seconds = 0.5;
+  cfg.lock_timeout = std::chrono::milliseconds(500);
+  return cfg;
+}
+
+void KeySweep() {
+  std::printf("E6a: txn/s vs #keys (8 threads, 75%% reads, uniform, "
+              "200us dwell)\n");
+  std::printf("%8s | %12s %12s %12s %12s\n", "keys", "moss-rw",
+              "exclusive", "flat-2pl", "serial");
+  for (int keys : {1, 2, 4, 16, 64, 256}) {
+    std::printf("%8d |", keys);
+    for (CcMode mode : {CcMode::kMossRW, CcMode::kExclusive,
+                        CcMode::kFlat2PL, CcMode::kSerial}) {
+      WorkloadConfig cfg = BaseConfig();
+      cfg.mode = mode;
+      cfg.num_keys = keys;
+      WorkloadResult r = RunWorkload(cfg);
+      std::printf(" %12.0f", r.TxnPerSec());
+    }
+    std::printf("\n");
+  }
+}
+
+void SkewSweep() {
+  std::printf("\nE6b: txn/s vs zipfian skew (8 threads, 64 keys, "
+              "75%% reads, 200us dwell)\n");
+  std::printf("%8s | %12s %12s\n", "theta", "moss-rw", "exclusive");
+  for (double theta : {0.0, 0.5, 0.9, 0.99, 1.2}) {
+    std::printf("%8.2f |", theta);
+    for (CcMode mode : {CcMode::kMossRW, CcMode::kExclusive}) {
+      WorkloadConfig cfg = BaseConfig();
+      cfg.mode = mode;
+      cfg.num_keys = 64;
+      cfg.zipf_theta = theta;
+      WorkloadResult r = RunWorkload(cfg);
+      std::printf(" %12.0f", r.TxnPerSec());
+    }
+    std::printf("\n");
+  }
+}
+
+void ThreadSweep() {
+  std::printf("\nE6c: txn/s vs threads (16 keys, 75%% reads, "
+              "200us dwell)\n");
+  std::printf("%8s | %12s %12s %12s\n", "threads", "moss-rw", "exclusive",
+              "serial");
+  for (int threads : {1, 2, 4, 8, 16}) {
+    std::printf("%8d |", threads);
+    for (CcMode mode :
+         {CcMode::kMossRW, CcMode::kExclusive, CcMode::kSerial}) {
+      WorkloadConfig cfg = BaseConfig();
+      cfg.mode = mode;
+      cfg.threads = threads;
+      cfg.num_keys = 16;
+      WorkloadResult r = RunWorkload(cfg);
+      std::printf(" %12.0f", r.TxnPerSec());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  KeySweep();
+  SkewSweep();
+  ThreadSweep();
+  return 0;
+}

@@ -1,0 +1,31 @@
+// E4 — cost of nesting: throughput and lock-inheritance traffic vs.
+// nesting depth at a fixed number of accesses per transaction.
+//
+// Expected shape: mild, roughly linear per-level overhead (each level
+// adds one commit's worth of lock handoff), no cliff.
+#include <cstdio>
+
+#include "engine_harness.h"
+
+using namespace nestedtx;
+using namespace nestedtx::bench;
+
+int main() {
+  std::printf("E4: nesting-depth cost (moss-rw, 8 threads, 32 keys, "
+              "8 accesses/txn, 50%% reads)\n");
+  std::printf("%6s | %12s %12s %14s\n", "depth", "txn/s", "ops/s",
+              "goodput");
+  for (int depth : {1, 2, 3, 4, 6, 8}) {
+    WorkloadConfig cfg;
+    cfg.threads = 8;
+    cfg.num_keys = 32;
+    cfg.read_ratio = 0.5;
+    cfg.accesses_per_txn = 8;
+    cfg.nesting_depth = depth;
+    cfg.duration_seconds = 0.5;
+    WorkloadResult r = RunWorkload(cfg);
+    std::printf("%6d | %12.0f %12.0f %13.1f%%\n", depth, r.TxnPerSec(),
+                r.OpsPerSec(), 100 * r.Goodput());
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// E3 — throughput vs. read ratio: the case for separate read locks.
+//
+// Transactions dwell 200us per access while holding the lock, modelling
+// the I/O / RPC latency of the paper's Argus setting (and making
+// throughput measure concurrency *admission* on this single-core host —
+// sleeping lock-holders overlap; see DESIGN.md substitution table).
+//
+// Expected shape: at 0% reads Moss == exclusive (it degenerates to it);
+// the gap opens as the read ratio grows, because Moss's read locks admit
+// concurrent readers that exclusive locking serializes; serial execution
+// is the floor throughout.
+#include <cstdio>
+
+#include "engine_harness.h"
+
+using namespace nestedtx;
+using namespace nestedtx::bench;
+
+int main() {
+  std::printf("E3: throughput (committed txn/s) vs read ratio "
+              "(16 threads, 8 keys, 4 accesses/txn, 200us dwell/access)\n");
+  std::printf("%8s | %12s %12s %12s %12s\n", "read%", "moss-rw",
+              "exclusive", "flat-2pl", "serial");
+  for (int read_pct : {0, 25, 50, 75, 90, 100}) {
+    std::printf("%8d |", read_pct);
+    for (CcMode mode : {CcMode::kMossRW, CcMode::kExclusive,
+                        CcMode::kFlat2PL, CcMode::kSerial}) {
+      WorkloadConfig cfg;
+      cfg.mode = mode;
+      cfg.threads = 16;
+      cfg.num_keys = 8;
+      cfg.read_ratio = read_pct / 100.0;
+      cfg.accesses_per_txn = 4;
+      cfg.dwell_us_per_access = 200;
+      cfg.duration_seconds = 0.6;
+      cfg.lock_timeout = std::chrono::milliseconds(500);
+      WorkloadResult r = RunWorkload(cfg);
+      std::printf(" %12.0f", r.TxnPerSec());
+    }
+    std::printf("\n");
+  }
+  std::printf("\nconcurrency-admission detail at read%%=90:\n");
+  for (CcMode mode : {CcMode::kMossRW, CcMode::kExclusive}) {
+    WorkloadConfig cfg;
+    cfg.mode = mode;
+    cfg.threads = 16;
+    cfg.num_keys = 8;
+    cfg.read_ratio = 0.9;
+    cfg.dwell_us_per_access = 200;
+    cfg.duration_seconds = 0.6;
+    cfg.lock_timeout = std::chrono::milliseconds(500);
+    WorkloadResult r = RunWorkload(cfg);
+    std::printf("  %-10s txn/s=%-8.0f waits=%-6llu deadlocks=%-5llu "
+                "goodput=%.1f%%\n",
+                CcModeName(mode), r.TxnPerSec(),
+                (unsigned long long)r.lock_waits,
+                (unsigned long long)r.deadlocks, 100 * r.Goodput());
+  }
+  return 0;
+}

@@ -1,0 +1,154 @@
+// E7 — lock-manager micro-costs (google-benchmark): the grant, conflict-
+// check, commit-inherit and abort-purge paths of the §5.1 rules, at
+// varying lock-table occupancy and nesting depth.
+//
+// Expected shape: grants O(holders) with small constants; inherit/purge
+// O(keys held); deeper ancestry adds linear id-comparison cost.
+#include <benchmark/benchmark.h>
+
+#include "core/lock_manager.h"
+#include "util/strings.h"
+
+using namespace nestedtx;
+
+namespace {
+
+EngineOptions Opts() {
+  EngineOptions o;
+  o.lock_timeout = std::chrono::milliseconds(1);
+  return o;
+}
+
+TransactionId DeepId(int depth, uint32_t leaf) {
+  TransactionId t = TransactionId::Root();
+  for (int i = 1; i < depth; ++i) t = t.Child(0);
+  return t.Child(leaf);
+}
+
+// Uncontended read grant+release cycle.
+void BM_ReadGrant(benchmark::State& state) {
+  EngineStats stats;
+  LockManager lm(Opts(), &stats);
+  lm.SetBase("k", 1);
+  uint32_t i = 0;
+  for (auto _ : state) {
+    const TransactionId txn = TransactionId::Root().Child(i++);
+    benchmark::DoNotOptimize(lm.AcquireRead(txn, "k"));
+    lm.OnAbort(txn, {"k"});
+  }
+}
+BENCHMARK(BM_ReadGrant);
+
+// Uncontended write grant (+version write) + abort-purge cycle.
+void BM_WriteGrantAbort(benchmark::State& state) {
+  EngineStats stats;
+  LockManager lm(Opts(), &stats);
+  uint32_t i = 0;
+  for (auto _ : state) {
+    const TransactionId txn = TransactionId::Root().Child(i++);
+    benchmark::DoNotOptimize(lm.AcquireWrite(
+        txn, "k", [](std::optional<int64_t> v) { return v.value_or(0); }));
+    lm.OnAbort(txn, {"k"});
+  }
+}
+BENCHMARK(BM_WriteGrantAbort);
+
+// Read grant with N co-existing read locks (conflict scan cost).
+void BM_ReadGrantWithReaders(benchmark::State& state) {
+  EngineStats stats;
+  LockManager lm(Opts(), &stats);
+  lm.SetBase("k", 1);
+  const int readers = static_cast<int>(state.range(0));
+  for (int r = 0; r < readers; ++r) {
+    (void)lm.AcquireRead(TransactionId::Root().Child(1000000 + r), "k");
+  }
+  uint32_t i = 0;
+  for (auto _ : state) {
+    const TransactionId txn = TransactionId::Root().Child(i++);
+    benchmark::DoNotOptimize(lm.AcquireRead(txn, "k"));
+    lm.OnAbort(txn, {"k"});
+  }
+}
+BENCHMARK(BM_ReadGrantWithReaders)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+
+// Grant cost vs. requester nesting depth (ancestor-compare cost).
+void BM_WriteGrantAtDepth(benchmark::State& state) {
+  EngineStats stats;
+  LockManager lm(Opts(), &stats);
+  const int depth = static_cast<int>(state.range(0));
+  uint32_t i = 0;
+  for (auto _ : state) {
+    const TransactionId txn = DeepId(depth, i++);
+    benchmark::DoNotOptimize(lm.AcquireWrite(
+        txn, "k", [](std::optional<int64_t>) { return 1; }));
+    lm.OnAbort(txn, {"k"});
+  }
+}
+BENCHMARK(BM_WriteGrantAtDepth)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Commit-inheritance cost: child holding N keys commits to its parent.
+void BM_CommitInherit(benchmark::State& state) {
+  EngineStats stats;
+  LockManager lm(Opts(), &stats);
+  const int nkeys = static_cast<int>(state.range(0));
+  std::set<std::string> keys;
+  for (int k = 0; k < nkeys; ++k) keys.insert(StrCat("k", k));
+  const TransactionId parent = TransactionId::Root().Child(0);
+  const TransactionId child = parent.Child(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (const auto& k : keys) {
+      (void)lm.AcquireWrite(child, k,
+                            [](std::optional<int64_t>) { return 1; });
+    }
+    state.ResumeTiming();
+    lm.OnCommit(child, parent, keys);
+    state.PauseTiming();
+    lm.OnAbort(parent, keys);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_CommitInherit)->Arg(1)->Arg(8)->Arg(64);
+
+// Abort-purge cost: a subtree holding N keys aborts.
+void BM_AbortPurge(benchmark::State& state) {
+  EngineStats stats;
+  LockManager lm(Opts(), &stats);
+  const int nkeys = static_cast<int>(state.range(0));
+  std::set<std::string> keys;
+  for (int k = 0; k < nkeys; ++k) keys.insert(StrCat("k", k));
+  const TransactionId txn = TransactionId::Root().Child(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (const auto& k : keys) {
+      (void)lm.AcquireWrite(txn, k,
+                            [](std::optional<int64_t>) { return 1; });
+    }
+    state.ResumeTiming();
+    lm.OnAbort(txn, keys);
+  }
+}
+BENCHMARK(BM_AbortPurge)->Arg(1)->Arg(8)->Arg(64);
+
+// Version-stack read cost under a chain of D nested write versions.
+void BM_ReadThroughVersionChain(benchmark::State& state) {
+  EngineStats stats;
+  LockManager lm(Opts(), &stats);
+  const int depth = static_cast<int>(state.range(0));
+  TransactionId t = TransactionId::Root();
+  for (int d = 0; d < depth; ++d) {
+    t = t.Child(0);
+    (void)lm.AcquireWrite(t, "k",
+                          [d](std::optional<int64_t>) { return d; });
+  }
+  const TransactionId reader = t.Child(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lm.AcquireRead(reader, "k"));
+    lm.OnAbort(reader, {"k"});
+  }
+}
+BENCHMARK(BM_ReadThroughVersionChain)->Arg(1)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

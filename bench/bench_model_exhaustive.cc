@@ -1,0 +1,123 @@
+// E1 — (bounded-)exhaustive validation of Theorem 34 on small system
+// types.
+//
+// For each tiny system type, enumerates reachable schedules of its R/W
+// Locking system depth-first (up to a cap — complete interleaving spaces
+// exceed 10^5 even here) and checks serial correctness for every
+// non-orphan transaction on each. Prints one row per configuration:
+//   config | schedules | max-len | violations | wall time
+// Expected shape: zero violations everywhere.
+#include <cstdio>
+
+#include "checker/serial_correctness.h"
+#include "explore/enumerator.h"
+#include "locking/locking_system.h"
+#include "serial/data_type.h"
+#include "util/stopwatch.h"
+
+using namespace nestedtx;
+
+namespace {
+
+SystemType OneTxnOneAccess() {
+  SystemTypeBuilder b;
+  const ObjectId x = b.AddObject("x", "counter");
+  const TransactionId t1 = b.AddInternal(TransactionId::Root());
+  b.AddAccess(t1, x, AccessKind::kWrite, {ops::kAdd, 1});
+  return b.Build();
+}
+
+SystemType TwoTxnsOneObject(AccessKind k1, AccessKind k2) {
+  SystemTypeBuilder b;
+  const ObjectId x = b.AddObject("x", "counter");
+  const TransactionId t1 = b.AddInternal(TransactionId::Root());
+  b.AddAccess(t1, x, k1,
+              k1 == AccessKind::kRead ? OpDescriptor{ops::kRead, 0}
+                                      : OpDescriptor{ops::kAdd, 1});
+  const TransactionId t2 = b.AddInternal(TransactionId::Root());
+  b.AddAccess(t2, x, k2,
+              k2 == AccessKind::kRead ? OpDescriptor{ops::kRead, 0}
+                                      : OpDescriptor{ops::kAdd, 2});
+  return b.Build();
+}
+
+SystemType NestedWriterPlusReader() {
+  SystemTypeBuilder b;
+  const ObjectId x = b.AddObject("x", "counter");
+  const TransactionId t1 = b.AddInternal(TransactionId::Root());
+  const TransactionId t1a = b.AddInternal(t1);
+  b.AddAccess(t1a, x, AccessKind::kWrite, {ops::kAdd, 1});
+  const TransactionId t2 = b.AddInternal(TransactionId::Root());
+  b.AddAccess(t2, x, AccessKind::kRead, {ops::kRead, 0});
+  return b.Build();
+}
+
+SystemType TwoObjects() {
+  SystemTypeBuilder b;
+  const ObjectId x = b.AddObject("x", "counter");
+  const ObjectId y = b.AddObject("y", "register");
+  const TransactionId t1 = b.AddInternal(TransactionId::Root());
+  b.AddAccess(t1, x, AccessKind::kWrite, {ops::kAdd, 1});
+  b.AddAccess(t1, y, AccessKind::kRead, {ops::kRead, 0});
+  const TransactionId t2 = b.AddInternal(TransactionId::Root());
+  b.AddAccess(t2, y, AccessKind::kWrite, {ops::kWrite, 5});
+  return b.Build();
+}
+
+void Run(const char* name, const SystemType& st, bool aborts) {
+  LockingSystemOptions sys;
+  sys.scheduler.allow_spontaneous_aborts = aborts;
+  SystemFactory factory = [&]() {
+    auto s = MakeLockingSystem(st, sys);
+    return std::move(*s);
+  };
+  size_t violations = 0;
+  ScheduleVisitor visitor = [&](const Schedule& alpha) {
+    if (!CheckSeriallyCorrectForAll(st, alpha, sys.script).ok()) {
+      ++violations;
+    }
+    return Status::OK();
+  };
+  EnumeratorOptions opts;
+  // Tiny systems' interleaving spaces run to the hundreds of thousands;
+  // enumerate a deterministic DFS prefix per configuration and rely on E2
+  // for randomized breadth. Configurations small enough to finish under
+  // the cap are reported "(exhaustive)".
+  opts.max_schedules = 8000;
+  opts.max_steps = 10'000'000;
+  Stopwatch clock;
+  auto stats = EnumerateSchedules(factory, visitor, opts);
+  if (!stats.ok()) {
+    std::printf("%-28s ERROR: %s\n", name, stats.status().ToString().c_str());
+    return;
+  }
+  std::printf("%-28s aborts=%-3s schedules=%-8zu maxlen=%-3zu "
+              "violations=%-4zu %s  %.2fs\n",
+              name, aborts ? "yes" : "no", stats->schedules_visited,
+              stats->max_schedule_length, violations,
+              stats->exhausted ? "(exhaustive)" : "(capped)    ",
+              clock.ElapsedSeconds());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E1: (bounded-)exhaustive Theorem-34 validation "
+              "(expected shape: 0 violations everywhere)\n");
+  Run("single-txn", OneTxnOneAccess(), false);
+  Run("single-txn", OneTxnOneAccess(), true);
+  Run("write/write", TwoTxnsOneObject(AccessKind::kWrite, AccessKind::kWrite),
+      false);
+  Run("read/write", TwoTxnsOneObject(AccessKind::kRead, AccessKind::kWrite),
+      false);
+  Run("read/read", TwoTxnsOneObject(AccessKind::kRead, AccessKind::kRead),
+      false);
+  Run("nested-writer+reader", NestedWriterPlusReader(), false);
+  Run("two-objects", TwoObjects(), false);
+  Run("write/write", TwoTxnsOneObject(AccessKind::kWrite, AccessKind::kWrite),
+      true);
+  Run("read/write", TwoTxnsOneObject(AccessKind::kRead, AccessKind::kWrite),
+      true);
+  Run("nested-writer+reader", NestedWriterPlusReader(), true);
+  return 0;
+}

@@ -1,0 +1,183 @@
+// Shared workload driver for the engine experiments (E3-E6): time-boxed
+// multithreaded runs of a parameterized transaction mix, reporting
+// throughput and engine counters. Used by the bench_engine_* binaries.
+#ifndef NESTEDTX_BENCH_ENGINE_HARNESS_H_
+#define NESTEDTX_BENCH_ENGINE_HARNESS_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+
+namespace nestedtx {
+namespace bench {
+
+struct WorkloadConfig {
+  CcMode mode = CcMode::kMossRW;
+  int threads = 8;
+  int num_keys = 16;
+  double zipf_theta = 0.0;       // key popularity skew
+  double read_ratio = 0.5;       // P(an access is a read)
+  int accesses_per_txn = 4;
+  int nesting_depth = 1;  // accesses spread over this many levels
+  /// P(the DEEPEST subtransaction level aborts voluntarily). Injected at
+  /// the leaf so the partial-abort comparison is crisp: nested modes redo
+  /// one leaf subtree, flat 2PL redoes the whole transaction.
+  double subtxn_abort_prob = 0;
+  /// Time spent "using" each accessed value while holding its lock —
+  /// models the I/O / RPC dwell of the paper's Argus setting. On this
+  /// single-core host it is also what makes throughput measure
+  /// concurrency admission rather than raw CPU scheduling: sleeping
+  /// lock-holders overlap, spinning ones cannot (see DESIGN.md).
+  int dwell_us_per_access = 0;
+  double duration_seconds = 0.4;
+  int max_attempts = 50;
+  std::chrono::milliseconds lock_timeout{200};
+};
+
+struct WorkloadResult {
+  uint64_t committed = 0;   // top-level commits
+  uint64_t failed = 0;      // gave up after retries
+  uint64_t attempts = 0;    // total top-level attempts
+  uint64_t ops = 0;         // committed accesses
+  double seconds = 0;
+  uint64_t lock_waits = 0;
+  uint64_t deadlocks = 0;
+  uint64_t timeouts = 0;
+
+  double TxnPerSec() const { return seconds > 0 ? committed / seconds : 0; }
+  double OpsPerSec() const { return seconds > 0 ? ops / seconds : 0; }
+  /// Fraction of attempts that committed (wasted-work proxy).
+  double Goodput() const {
+    return attempts > 0 ? double(committed) / double(attempts) : 0;
+  }
+};
+
+// One transaction: `accesses_per_txn` accesses distributed over a chain
+// of `nesting_depth` subtransaction levels; each level may spontaneously
+// abort with `subtxn_abort_prob` (and is retried once by its parent —
+// partial abort under nesting, doom-and-restart under flat 2PL).
+inline Status RunOneTransaction(const WorkloadConfig& cfg, Transaction& txn,
+                                Rng& rng, Zipf& zipf,
+                                std::atomic<uint64_t>& op_count) {
+  const int levels = cfg.nesting_depth < 1 ? 1 : cfg.nesting_depth;
+  const int per_level = (cfg.accesses_per_txn + levels - 1) / levels;
+  int remaining = cfg.accesses_per_txn;
+
+  std::function<Status(Transaction&, int)> run_level =
+      [&](Transaction& parent, int level) -> Status {
+    // This level's accesses.
+    const int mine = level == levels - 1 ? remaining
+                                         : std::min(per_level, remaining);
+    remaining -= mine;
+    for (int i = 0; i < mine; ++i) {
+      const std::string key = StrCat("k", zipf.Next(rng));
+      if (rng.Bernoulli(cfg.read_ratio)) {
+        auto r = parent.TryGet(key);
+        if (!r.ok()) return r.status();
+      } else {
+        auto r = parent.Add(key, 1);
+        if (!r.ok()) return r.status();
+      }
+      if (cfg.dwell_us_per_access > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(cfg.dwell_us_per_access));
+      }
+      op_count.fetch_add(1);
+    }
+    if (level + 1 >= levels || remaining <= 0) return Status::OK();
+    // Descend one nesting level as a subtransaction, with one retry on a
+    // voluntary abort (the partial-abort pattern).
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      auto child = parent.BeginChild();
+      if (!child.ok()) return child.status();
+      const int saved_remaining = remaining;
+      Status s = run_level(**child, level + 1);
+      const bool child_is_deepest = level + 1 == levels - 1;
+      if (s.ok() && child_is_deepest && cfg.subtxn_abort_prob > 0 &&
+          rng.Bernoulli(cfg.subtxn_abort_prob)) {
+        s = Status::Aborted("injected subtransaction failure");
+      }
+      if (s.ok()) {
+        s = (*child)->Commit();
+        if (s.ok()) return Status::OK();
+      }
+      if (!(*child)->returned()) (*child)->Abort();
+      if (!s.IsAborted() && !s.IsDeadlock() && !s.IsTimedOut()) return s;
+      remaining = saved_remaining;  // redo the subtree's work
+    }
+    return Status::Aborted("subtree failed twice");
+  };
+  return run_level(txn, 0);
+}
+
+inline WorkloadResult RunWorkload(const WorkloadConfig& cfg) {
+  EngineOptions options;
+  options.cc_mode = cfg.mode;
+  options.lock_timeout = cfg.lock_timeout;
+  Database db(options);
+  for (int k = 0; k < cfg.num_keys; ++k) db.Preload(StrCat("k", k), 0);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> committed{0}, failed{0}, attempts{0}, ops{0};
+  std::vector<std::thread> workers;
+  Stopwatch clock;
+  for (int w = 0; w < cfg.threads; ++w) {
+    workers.emplace_back([&, w] {
+      Rng rng(w * 7919 + 101);
+      Zipf zipf(cfg.num_keys, cfg.zipf_theta);
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::atomic<uint64_t> txn_ops{0};
+        Status s = Status::Aborted("");
+        int attempt = 0;
+        for (; attempt < cfg.max_attempts; ++attempt) {
+          txn_ops = 0;
+          auto txn = db.Begin();
+          s = RunOneTransaction(cfg, *txn, rng, zipf, txn_ops);
+          if (s.ok()) {
+            s = txn->Commit();
+            if (s.ok()) break;
+          }
+          if (!txn->returned()) txn->Abort();
+          if (!s.IsAborted() && !s.IsDeadlock() && !s.IsTimedOut()) break;
+        }
+        attempts.fetch_add(attempt + 1);
+        if (s.ok()) {
+          committed.fetch_add(1);
+          ops.fetch_add(txn_ops.load());
+        } else {
+          failed.fetch_add(1);
+        }
+      }
+    });
+  }
+  while (clock.ElapsedSeconds() < cfg.duration_seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  for (auto& t : workers) t.join();
+
+  WorkloadResult result;
+  result.committed = committed.load();
+  result.failed = failed.load();
+  result.attempts = attempts.load();
+  result.ops = ops.load();
+  result.seconds = clock.ElapsedSeconds();
+  result.lock_waits = db.stats().lock_waits.load();
+  result.deadlocks = db.stats().deadlocks.load();
+  result.timeouts = db.stats().lock_timeouts.load();
+  return result;
+}
+
+}  // namespace bench
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_BENCH_ENGINE_HARNESS_H_

@@ -1,0 +1,128 @@
+// Argus-style services: remote procedure calls as subtransactions.
+//
+// The paper places Moss's algorithm in context: it is "the basis of data
+// management in the Argus system", where a service call is a
+// subtransaction that may abort independently of its caller. This example
+// reconstructs that pattern: a travel-booking coordinator calls a flight
+// service and a hotel service; each call is a subtransaction. A hotel
+// with no rooms aborts its subtransaction only — the coordinator falls
+// back to the next hotel while the already-booked flight leg's locks and
+// updates stay intact.
+//
+// Usage: ./build/examples/argus_services
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "util/random.h"
+#include "util/strings.h"
+
+using namespace nestedtx;
+
+namespace {
+
+// "Remote" flight service: decrement seat inventory.
+Status FlightService(Transaction& call, const std::string& flight) {
+  auto seats = call.Get(StrCat("flight/", flight, "/seats"));
+  if (!seats.ok()) return seats.status();
+  if (*seats <= 0) return Status::Aborted("flight full");
+  auto r = call.Add(StrCat("flight/", flight, "/seats"), -1);
+  if (!r.ok()) return r.status();
+  auto b = call.Add("bookings/flights", 1);
+  return b.ok() ? Status::OK() : b.status();
+}
+
+// "Remote" hotel service: decrement room inventory.
+Status HotelService(Transaction& call, const std::string& hotel) {
+  auto rooms = call.Get(StrCat("hotel/", hotel, "/rooms"));
+  if (!rooms.ok()) return rooms.status();
+  if (*rooms <= 0) return Status::Aborted("hotel full");
+  auto r = call.Add(StrCat("hotel/", hotel, "/rooms"), -1);
+  if (!r.ok()) return r.status();
+  auto b = call.Add("bookings/hotels", 1);
+  return b.ok() ? Status::OK() : b.status();
+}
+
+// The coordinator: one top-level transaction per trip. Each service call
+// runs as a subtransaction ("once-only" RPC semantics); hotel fallback
+// exercises independent subtransaction abort.
+Status BookTrip(Database& db, const std::string& flight,
+                const std::vector<std::string>& hotel_preferences) {
+  return db.RunTransaction(10, [&](Transaction& trip) -> Status {
+    Status fs = Database::RunNested(trip, 3, [&](Transaction& call) {
+      return FlightService(call, flight);
+    });
+    if (!fs.ok()) return Status::Aborted(StrCat("no flight: ", flight));
+
+    for (const std::string& hotel : hotel_preferences) {
+      Status hs = Database::RunNested(trip, 3, [&](Transaction& call) {
+        return HotelService(call, hotel);
+      });
+      if (hs.ok()) return Status::OK();  // flight + hotel booked
+      // This hotel's subtransaction aborted; the flight leg is untouched.
+    }
+    return Status::Aborted("no hotel available");  // aborts whole trip
+  });
+}
+
+}  // namespace
+
+int main() {
+  Database db;  // Moss R/W locking
+  db.Preload("flight/AA100/seats", 30);
+  db.Preload("flight/UA200/seats", 25);
+  db.Preload("hotel/plaza/rooms", 3);    // scarce: forces fallbacks
+  db.Preload("hotel/budget/rooms", 60);
+  db.Preload("bookings/flights", 0);
+  db.Preload("bookings/hotels", 0);
+
+  std::vector<std::thread> customers;
+  std::atomic<int> booked{0}, rejected{0};
+  for (int c = 0; c < 8; ++c) {
+    customers.emplace_back([&, c] {
+      Rng rng(c * 101 + 3);
+      for (int trip = 0; trip < 8; ++trip) {
+        const std::string flight = rng.Bernoulli(0.5) ? "AA100" : "UA200";
+        Status s = BookTrip(db, flight, {"plaza", "budget"});
+        (s.ok() ? booked : rejected).fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : customers) t.join();
+
+  std::printf("trips booked=%d rejected=%d\n", booked.load(),
+              rejected.load());
+  std::printf("flights booked:  %lld\n",
+              (long long)db.ReadCommitted("bookings/flights").value());
+  std::printf("hotels booked:   %lld\n",
+              (long long)db.ReadCommitted("bookings/hotels").value());
+  std::printf("plaza rooms left:  %lld (started 3)\n",
+              (long long)db.ReadCommitted("hotel/plaza/rooms").value());
+  std::printf("budget rooms left: %lld (started 60)\n",
+              (long long)db.ReadCommitted("hotel/budget/rooms").value());
+  std::printf("AA100 seats left:  %lld  UA200 seats left: %lld\n",
+              (long long)db.ReadCommitted("flight/AA100/seats").value(),
+              (long long)db.ReadCommitted("flight/UA200/seats").value());
+
+  // Consistency: every booked trip consumed exactly one seat and one room.
+  const long long flights_booked =
+      db.ReadCommitted("bookings/flights").value();
+  const long long hotels_booked = db.ReadCommitted("bookings/hotels").value();
+  const long long seats_gone =
+      (30 - db.ReadCommitted("flight/AA100/seats").value()) +
+      (25 - db.ReadCommitted("flight/UA200/seats").value());
+  const long long rooms_gone =
+      (3 - db.ReadCommitted("hotel/plaza/rooms").value()) +
+      (60 - db.ReadCommitted("hotel/budget/rooms").value());
+  std::printf("consistency: flights %lld==%lld %s, hotels %lld==%lld %s\n",
+              flights_booked, seats_gone,
+              flights_booked == seats_gone ? "✓" : "✗", hotels_booked,
+              rooms_gone, hotels_booked == rooms_gone ? "✓" : "✗");
+  std::printf("stats: %s\n", db.stats().ToString().c_str());
+  return booked.load() == (int)hotels_booked &&
+                 flights_booked == seats_gone && hotels_booked == rooms_gone
+             ? 0
+             : 1;
+}

@@ -1,0 +1,94 @@
+// Model explorer: drive the paper's formal model end-to-end.
+//
+// 1. Runs the canonical R/W Locking system (transaction automata +
+//    M(X) objects + generic scheduler) to quiescence under a random
+//    schedule and prints the concurrent schedule.
+// 2. Builds the Lemma 33 witness — a serial schedule write-equivalent to
+//    visible(alpha, T0) — and prints it next to the original.
+// 3. Exhaustively enumerates every schedule of a tiny system and checks
+//    Theorem 34 on each.
+//
+// Usage: ./build/examples/model_explorer [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "checker/serial_correctness.h"
+#include "explore/enumerator.h"
+#include "explore/random_walk.h"
+#include "explore/workload.h"
+#include "locking/locking_system.h"
+#include "serial/data_type.h"
+#include "tx/visibility.h"
+
+using namespace nestedtx;
+
+int main(int argc, char** argv) {
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  // ---- Part 1: one concurrent run of the canonical system. ----
+  SystemType st = MakeCanonicalSystemType();
+  auto run = RandomLockingRun(st, seed);
+  if (!run.ok()) {
+    std::printf("run failed: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("== concurrent schedule (seed %llu, %zu events) ==\n",
+              (unsigned long long)seed, run->size());
+  for (size_t i = 0; i < run->size(); ++i) {
+    std::printf("  %3zu  %s\n", i, (*run)[i].ToString().c_str());
+  }
+
+  // ---- Part 2: the Lemma 33 witness for T0. ----
+  SerialWitnessBuilder builder(&st);
+  for (const Event& e : *run) builder.Feed(e).ok();
+  auto witness = builder.WitnessFor(TransactionId::Root());
+  if (!witness.ok()) {
+    std::printf("witness failed: %s\n", witness.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "\n== serial witness for T0 (%zu events, write-equivalent to "
+      "visible(alpha,T0)) ==\n",
+      witness->size());
+  for (size_t i = 0; i < witness->size(); ++i) {
+    std::printf("  %3zu  %s\n", i, (*witness)[i].ToString().c_str());
+  }
+  Status verdict = CheckSeriallyCorrect(st, *run, TransactionId::Root());
+  std::printf("\nserial correctness at T0: %s\n",
+              verdict.ToString().c_str());
+
+  // ---- Part 3: exhaustive check of a tiny system. ----
+  SystemTypeBuilder b;
+  const ObjectId x = b.AddObject("x", "counter");
+  const TransactionId t1 = b.AddInternal(TransactionId::Root());
+  b.AddAccess(t1, x, AccessKind::kRead, {ops::kRead, 0});
+  const TransactionId t2 = b.AddInternal(TransactionId::Root());
+  b.AddAccess(t2, x, AccessKind::kWrite, {ops::kAdd, 1});
+  SystemType tiny = b.Build();
+
+  size_t violations = 0;
+  LockingSystemOptions tiny_sys;
+  tiny_sys.scheduler.allow_spontaneous_aborts = false;
+  SystemFactory factory = [&]() {
+    auto s = MakeLockingSystem(tiny, tiny_sys);
+    return std::move(*s);
+  };
+  ScheduleVisitor visitor = [&](const Schedule& alpha) {
+    if (!CheckSeriallyCorrectForAll(tiny, alpha, {}).ok()) ++violations;
+    return Status::OK();
+  };
+  EnumeratorOptions enum_opts;
+  enum_opts.max_schedules = 5000;  // bounded-exhaustive DFS prefix
+  auto stats = EnumerateSchedules(factory, visitor, enum_opts);
+  if (!stats.ok()) {
+    std::printf("enumeration failed: %s\n",
+                stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "\n== %s check: %zu maximal schedules enumerated, %zu "
+      "Theorem-34 violations ==\n",
+      stats->exhausted ? "exhaustive" : "bounded-exhaustive",
+      stats->schedules_visited, violations);
+  return verdict.ok() && violations == 0 ? 0 : 1;
+}

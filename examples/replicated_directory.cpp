@@ -1,0 +1,78 @@
+// Replicated directory service: quorum replication on nested
+// transactions, with a copy failing and recovering mid-run.
+//
+// The paper's research program includes "replicated data management
+// algorithms" in the same nested-transaction framework; this example
+// shows why the combination is natural — each copy access is a
+// subtransaction, so a dead copy aborts only its own call and the quorum
+// logic simply moves on.
+//
+// Usage: ./build/examples/replicated_directory
+#include <cstdio>
+
+#include "core/replicated.h"
+#include "util/strings.h"
+
+using namespace nestedtx;
+
+namespace {
+
+void PrintEntry(Database& db, ReplicatedKV& dir, const std::string& name) {
+  (void)db.RunTransaction(5, [&](Transaction& t) -> Status {
+    auto v = dir.Get(t, name);
+    if (!v.ok()) return v.status();
+    if (v->has_value()) {
+      std::printf("  %-10s -> port %lld\n", name.c_str(),
+                  (long long)**v);
+    } else {
+      std::printf("  %-10s -> (absent)\n", name.c_str());
+    }
+    return Status::OK();
+  });
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  ReplicatedKV dir(&db, ReplicationOptions{3, 2, 2});
+
+  std::printf("== register services (3 copies, R=2, W=2) ==\n");
+  for (auto [name, port] : {std::pair{"auth", 7001}, {"billing", 7002},
+                            {"search", 7003}}) {
+    Status s = db.RunTransaction(5, [&, name = std::string(name),
+                                     port = port](Transaction& t) {
+      return dir.Put(t, name, port);
+    });
+    std::printf("  register %-10s %s\n", name, s.ToString().c_str());
+  }
+
+  std::printf("\n== copy 1 goes down; reads and writes continue ==\n");
+  dir.SetCopyAvailable(1, false);
+  PrintEntry(db, dir, "auth");
+  Status s = db.RunTransaction(5, [&](Transaction& t) {
+    return dir.Put(t, "search", 7004);  // re-registration on 2 copies
+  });
+  std::printf("  re-register search -> 7004: %s\n", s.ToString().c_str());
+
+  std::printf("\n== copy 1 back, copy 2 down: latest version still wins "
+              "==\n");
+  dir.SetCopyAvailable(1, true);
+  dir.SetCopyAvailable(2, false);
+  PrintEntry(db, dir, "search");  // copy 1 is stale; version order fixes it
+  PrintEntry(db, dir, "billing");
+
+  std::printf("\n== two copies down: quorum unreachable, calls abort "
+              "cleanly ==\n");
+  dir.SetCopyAvailable(0, false);
+  Status fail = db.RunTransaction(1, [&](Transaction& t) {
+    return dir.Put(t, "auth", 9999);
+  });
+  std::printf("  register attempt: %s\n", fail.ToString().c_str());
+  dir.SetCopyAvailable(0, true);
+  dir.SetCopyAvailable(2, true);
+  PrintEntry(db, dir, "auth");  // unchanged
+
+  std::printf("\nstats: %s\n", db.stats().ToString().c_str());
+  return 0;
+}

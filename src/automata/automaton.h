@@ -1,0 +1,49 @@
+// The I/O automaton model of §2, executably.
+//
+// An automaton has operations classified as inputs or outputs; outputs are
+// under its control, inputs must be accepted in every state (the Input
+// Condition). We expose exactly what execution needs:
+//   * EnabledOutputs(): the finite set of output events enabled now
+//     (our concrete automata restrict the paper's nondeterminism to a
+//     finite menu; every execution of the restriction is an execution of
+//     the paper's automaton, so safety results transfer);
+//   * Apply(e): perform one step. For inputs this always succeeds; for
+//     outputs it fails unless the event is currently enabled.
+#ifndef NESTEDTX_AUTOMATA_AUTOMATON_H_
+#define NESTEDTX_AUTOMATA_AUTOMATON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tx/event.h"
+#include "util/status.h"
+
+namespace nestedtx {
+
+class Automaton {
+ public:
+  virtual ~Automaton() = default;
+
+  /// Display name ("T0.1", "X0", "serial-scheduler", ...).
+  virtual std::string name() const = 0;
+
+  /// True iff `e` is in this automaton's signature (input or output).
+  virtual bool IsOperation(const Event& e) const = 0;
+
+  /// True iff `e` is an output operation of this automaton. At most one
+  /// component of a system may claim any event as an output.
+  virtual bool IsOutput(const Event& e) const = 0;
+
+  /// Output events enabled in the current state.
+  virtual std::vector<Event> EnabledOutputs() const = 0;
+
+  /// Perform one step on `e`. Called only when IsOperation(e).
+  /// For output events not currently enabled, returns FailedPrecondition
+  /// and leaves the state unchanged.
+  virtual Status Apply(const Event& e) = 0;
+};
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_AUTOMATA_AUTOMATON_H_

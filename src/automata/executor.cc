@@ -1,0 +1,43 @@
+#include "automata/executor.h"
+
+#include "util/strings.h"
+
+namespace nestedtx {
+
+Result<ExecutorResult> RunToQuiescence(System& system,
+                                       const ExecutorOptions& options) {
+  Rng rng(options.seed);
+  ExecutorResult result;
+  while (result.steps < options.max_steps) {
+    std::vector<Event> enabled = system.EnabledOutputs();
+    if (enabled.empty()) {
+      result.quiescent = true;
+      return result;
+    }
+    std::vector<double> weights;
+    weights.reserve(enabled.size());
+    for (const Event& e : enabled) {
+      weights.push_back(e.kind == EventKind::kAbort ? options.abort_weight
+                                                    : 1.0);
+    }
+    const size_t pick = rng.Weighted(weights);
+    Status st = system.Apply(enabled[pick]);
+    if (!st.ok()) {
+      return Status::Internal(
+          StrCat("enabled event failed to apply: ", enabled[pick], ": ",
+                 st.ToString()));
+    }
+    ++result.steps;
+  }
+  result.quiescent = system.EnabledOutputs().empty();
+  return result;
+}
+
+Status Replay(System& system, const Schedule& prefix) {
+  for (const Event& e : prefix) {
+    RETURN_IF_ERROR(system.Apply(e));
+  }
+  return Status::OK();
+}
+
+}  // namespace nestedtx

@@ -1,0 +1,43 @@
+// Seeded nondeterministic execution of a composed system: repeatedly pick
+// one enabled output (per a pluggable policy) and apply it, until no
+// output is enabled or a step bound is hit. The recorded schedule is the
+// object of study.
+#ifndef NESTEDTX_AUTOMATA_EXECUTOR_H_
+#define NESTEDTX_AUTOMATA_EXECUTOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "automata/system.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace nestedtx {
+
+struct ExecutorOptions {
+  uint64_t seed = 1;
+  /// Stop after this many steps even if outputs remain enabled.
+  size_t max_steps = 100000;
+  /// Relative weight of ABORT events vs. everything else; 0 disables
+  /// spontaneous aborts entirely, 1 makes them as likely as any other
+  /// event. Schedulers enable aborts almost always, so an unweighted
+  /// executor aborts nearly everything.
+  double abort_weight = 0.05;
+};
+
+struct ExecutorResult {
+  size_t steps = 0;
+  bool quiescent = false;  // true if no outputs were enabled at the end
+};
+
+/// Run `system` forward under the options' random policy.
+Result<ExecutorResult> RunToQuiescence(System& system,
+                                       const ExecutorOptions& options);
+
+/// Replay a fixed event sequence (each event must be enabled in turn).
+/// Used by the exhaustive enumerator to restore a state by prefix.
+Status Replay(System& system, const Schedule& prefix);
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_AUTOMATA_EXECUTOR_H_

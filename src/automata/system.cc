@@ -1,0 +1,56 @@
+#include "automata/system.h"
+
+#include "util/strings.h"
+
+namespace nestedtx {
+
+void System::Add(std::unique_ptr<Automaton> component) {
+  components_.push_back(std::move(component));
+}
+
+std::vector<Event> System::EnabledOutputs() const {
+  std::vector<Event> out;
+  for (const auto& c : components_) {
+    auto enabled = c->EnabledOutputs();
+    out.insert(out.end(), enabled.begin(), enabled.end());
+  }
+  return out;
+}
+
+Status System::Apply(const Event& e) {
+  // Exactly one component controls the event.
+  Automaton* owner = nullptr;
+  for (const auto& c : components_) {
+    if (c->IsOutput(e)) {
+      if (owner != nullptr) {
+        return Status::Internal(
+            StrCat(e, " is an output of two components: ", owner->name(),
+                   " and ", c->name()));
+      }
+      owner = c.get();
+    }
+  }
+  if (owner == nullptr) {
+    return Status::InvalidArgument(
+        StrCat(e, " is not an output of any component"));
+  }
+  // The owner steps first so a not-enabled output fails before any input
+  // delivery mutates other components.
+  RETURN_IF_ERROR(owner->Apply(e));
+  for (const auto& c : components_) {
+    if (c.get() != owner && c->IsOperation(e)) {
+      RETURN_IF_ERROR(c->Apply(e));
+    }
+  }
+  schedule_.push_back(e);
+  return Status::OK();
+}
+
+Automaton* System::Find(const std::string& name) {
+  for (const auto& c : components_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+}  // namespace nestedtx

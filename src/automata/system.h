@@ -1,0 +1,50 @@
+// Composition of I/O automata (§2): a system is itself an automaton whose
+// operations are the union of its components' operations, with each shared
+// event performed simultaneously by every component that has it.
+#ifndef NESTEDTX_AUTOMATA_SYSTEM_H_
+#define NESTEDTX_AUTOMATA_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "automata/automaton.h"
+#include "tx/event.h"
+#include "util/status.h"
+
+namespace nestedtx {
+
+/// A composed system. Components are added once, then the system is
+/// stepped via Apply / EnabledOutputs. The schedule of every step is
+/// recorded (the proofs in the paper are all about schedules).
+class System {
+ public:
+  /// Add a component. Output disjointness with existing components is the
+  /// builder's responsibility; Apply enforces it defensively.
+  void Add(std::unique_ptr<Automaton> component);
+
+  /// Union of the components' enabled outputs.
+  std::vector<Event> EnabledOutputs() const;
+
+  /// Perform one step of the composed automaton: `e` must be an output of
+  /// exactly one component and is delivered to every component that has it
+  /// in its signature.
+  Status Apply(const Event& e);
+
+  const Schedule& schedule() const { return schedule_; }
+
+  size_t NumComponents() const { return components_.size(); }
+  Automaton& component(size_t i) { return *components_[i]; }
+  const Automaton& component(size_t i) const { return *components_[i]; }
+
+  /// Find a component by name; nullptr if absent.
+  Automaton* Find(const std::string& name);
+
+ private:
+  std::vector<std::unique_ptr<Automaton>> components_;
+  Schedule schedule_;
+};
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_AUTOMATA_SYSTEM_H_

@@ -1,0 +1,122 @@
+#include "checker/equieffective.h"
+
+#include "serial/data_type.h"
+#include "tx/well_formed.h"
+#include "util/strings.h"
+
+namespace nestedtx {
+
+Result<ObjectReplay> ReplayBasicObject(const SystemType& st, ObjectId x,
+                                       const Schedule& seq) {
+  RETURN_IF_ERROR(CheckBasicObjectWellFormed(st, seq, x));
+  const DataType* dt = FindDataType(st.Object(x).data_type);
+  if (dt == nullptr) {
+    return Status::InvalidArgument(
+        StrCat("unknown data type for X", x));
+  }
+  ObjectReplay r;
+  r.state = st.Object(x).initial_value;
+  for (const Event& e : seq) {
+    if (e.kind == EventKind::kCreate) {
+      r.pending.insert(e.txn);
+      continue;
+    }
+    // REQUEST_COMMIT(T, v): enabled iff T pending and v matches.
+    if (!r.pending.count(e.txn)) {
+      r.is_schedule = false;
+      return r;
+    }
+    const auto [new_state, value] = dt->Apply(r.state, st.Access(e.txn).op);
+    if (value != e.value) {
+      r.is_schedule = false;
+      return r;
+    }
+    r.state = new_state;
+    r.pending.erase(e.txn);
+  }
+  r.is_schedule = true;
+  return r;
+}
+
+Result<bool> Equieffective(const SystemType& st, ObjectId x,
+                           const Schedule& a, const Schedule& b) {
+  Result<ObjectReplay> ra = ReplayBasicObject(st, x, a);
+  if (!ra.ok()) return ra.status();
+  Result<ObjectReplay> rb = ReplayBasicObject(st, x, b);
+  if (!rb.ok()) return rb.status();
+  if (!ra->is_schedule || !rb->is_schedule) {
+    // If neither is a schedule, they are trivially equieffective; if only
+    // one is, a continuation distinguishes them vacuously per the paper's
+    // observation ("if α is equieffective to β and β is a schedule, then
+    // α is a schedule").
+    return ra->is_schedule == rb->is_schedule;
+  }
+  // Pending-set differences are NOT observable: a continuation that would
+  // respond to an access pending in only one sequence is ill-formed for
+  // the other, and the definition quantifies only over continuations
+  // well-formed for both. The data-type state alone decides.
+  return ra->state == rb->state;
+}
+
+Status CheckSemanticConditions(const SystemType& st, ObjectId x,
+                               const Schedule& alpha) {
+  // Condition 1 & 3: transparency of CREATE and of read REQUEST_COMMITs —
+  // for every prefix α'π with π of the given sort, α'π equieffective α'.
+  for (size_t i = 0; i < alpha.size(); ++i) {
+    const Event& e = alpha[i];
+    const bool is_create = e.kind == EventKind::kCreate;
+    const bool is_read_rc =
+        e.kind == EventKind::kRequestCommit &&
+        st.Access(e.txn).kind == AccessKind::kRead;
+    if (!is_create && !is_read_rc) continue;
+    Schedule with(alpha.begin(), alpha.begin() + i + 1);
+    Schedule without(alpha.begin(), alpha.begin() + i);
+    // Transparency compares states as later *well-formed* continuations
+    // see them; a pending-set difference from dropping a CREATE is not
+    // observable by any continuation that is well-formed for both (it may
+    // not CREATE(T) again after `with`, nor REQUEST_COMMIT(T) after
+    // `without`). So compare instance state only for condition 1, and
+    // both state and pending for reads (where pending differs by T itself,
+    // which likewise no common continuation can probe).
+    Result<ObjectReplay> rw = ReplayBasicObject(st, x, with);
+    if (!rw.ok()) return rw.status();
+    Result<ObjectReplay> ro = ReplayBasicObject(st, x, without);
+    if (!ro.ok()) return ro.status();
+    if (rw->is_schedule && (!ro->is_schedule || rw->state != ro->state)) {
+      return Status::Internal(
+          StrCat("event #", i, " (", e, ") is not transparent"));
+    }
+  }
+  // Condition 2: CREATE placement undetectable — moving each CREATE to
+  // the end of the schedule yields an equieffective schedule.
+  for (size_t i = 0; i < alpha.size(); ++i) {
+    if (alpha[i].kind != EventKind::kCreate) continue;
+    // Only test CREATEs whose access is still pending at the end (moving
+    // a responded access's CREATE after its REQUEST_COMMIT would break
+    // well-formedness, which the definition excludes).
+    bool responded = false;
+    for (size_t j = i + 1; j < alpha.size(); ++j) {
+      if (alpha[j].kind == EventKind::kRequestCommit &&
+          alpha[j].txn == alpha[i].txn) {
+        responded = true;
+        break;
+      }
+    }
+    if (responded) continue;
+    Schedule moved;
+    for (size_t j = 0; j < alpha.size(); ++j) {
+      if (j != i) moved.push_back(alpha[j]);
+    }
+    moved.push_back(alpha[i]);
+    Result<bool> eq = Equieffective(st, x, alpha, moved);
+    if (!eq.ok()) return eq.status();
+    if (!*eq) {
+      return Status::Internal(
+          StrCat("CREATE #", i, " (", alpha[i],
+                 ") placement is detectable (condition 2 violated)"));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace nestedtx

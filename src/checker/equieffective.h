@@ -1,0 +1,56 @@
+// Equieffectiveness (§4.1) and the semantic conditions on read accesses
+// (§4.3), made testable.
+//
+// Two well-formed sequences of operations of basic object X are
+// equieffective when no well-formedness-respecting continuation can tell
+// them apart. For the deterministic data-type objects of this library,
+// that is decidable: two schedules are equieffective iff
+//   (i)  both are schedules of X (replayable), or neither is, and
+//   (ii) when both replay, they leave the data-type instance in the same
+//        state. A state difference is detectable by a later read; a
+//        pending-set difference is NOT — any continuation that responds
+//        to an access pending in only one sequence is ill-formed for the
+//        other, and the definition quantifies only over continuations
+//        well-formed for both.
+#ifndef NESTEDTX_CHECKER_EQUIEFFECTIVE_H_
+#define NESTEDTX_CHECKER_EQUIEFFECTIVE_H_
+
+#include <optional>
+#include <set>
+
+#include "tx/event.h"
+#include "tx/system_type.h"
+#include "util/status.h"
+
+namespace nestedtx {
+
+/// Result of replaying a sequence against basic object X's transition
+/// relation: the final instance state and pending set, or nullopt if the
+/// sequence is not a schedule of X (some REQUEST_COMMIT not enabled /
+/// wrong value).
+struct ObjectReplay {
+  bool is_schedule = false;
+  Value state = 0;
+  std::set<TransactionId> pending;
+};
+
+/// Replay `seq` (which must be well-formed for X; error otherwise).
+Result<ObjectReplay> ReplayBasicObject(const SystemType& st, ObjectId x,
+                                       const Schedule& seq);
+
+/// Decide equieffectiveness of two well-formed sequences of operations
+/// of X (see header comment for why this is exact for data-type objects).
+Result<bool> Equieffective(const SystemType& st, ObjectId x,
+                           const Schedule& a, const Schedule& b);
+
+/// Check the three §4.3 semantic conditions for object X against a given
+/// well-formed schedule `alpha` of X:
+///  1. every CREATE is transparent,
+///  2. CREATEs commute with later events (creation time undetectable),
+///  3. every read-access REQUEST_COMMIT is transparent.
+Status CheckSemanticConditions(const SystemType& st, ObjectId x,
+                               const Schedule& alpha);
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_CHECKER_EQUIEFFECTIVE_H_

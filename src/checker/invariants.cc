@@ -1,0 +1,117 @@
+#include "checker/invariants.h"
+
+#include <map>
+#include <set>
+
+#include "tx/visibility.h"
+#include "tx/well_formed.h"
+#include "util/strings.h"
+
+namespace nestedtx {
+
+Status CheckOnlyRelatedLive(const SystemType& st, const Schedule& serial) {
+  (void)st;
+  std::set<TransactionId> live;
+  for (size_t i = 0; i < serial.size(); ++i) {
+    const Event& e = serial[i];
+    if (e.kind == EventKind::kCreate) {
+      for (const TransactionId& other : live) {
+        if (!other.IsAncestorOf(e.txn) && !e.txn.IsAncestorOf(other)) {
+          return Status::Internal(
+              StrCat("Lemma 6 violated at event #", i, ": ", e.txn, " and ",
+                     other, " live concurrently but unrelated"));
+        }
+      }
+      live.insert(e.txn);
+    } else if (e.kind == EventKind::kCommit || e.kind == EventKind::kAbort) {
+      live.erase(e.txn);
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckVisibleWellFormed(const SystemType& st, const Schedule& serial) {
+  RETURN_IF_ERROR(CheckSerialWellFormed(st, serial));
+  std::vector<TransactionId> txns = {TransactionId::Root()};
+  for (const TransactionId& t : st.AllTransactions()) txns.push_back(t);
+  for (const TransactionId& t : txns) {
+    Status s = CheckSerialWellFormed(st, Visible(serial, t));
+    if (!s.ok()) {
+      return Status::Internal(StrCat("visible(alpha, ", t,
+                                     ") not well-formed: ", s.ToString()));
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckSchedulerDiscipline(const SystemType& st,
+                                const Schedule& schedule) {
+  (void)st;
+  std::set<TransactionId> create_requested = {TransactionId::Root()};
+  std::map<TransactionId, Value> commit_requested;
+  std::set<TransactionId> committed;
+  std::set<TransactionId> aborted;
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    const Event& e = schedule[i];
+    auto fail = [&](const std::string& why) {
+      return Status::Internal(
+          StrCat("scheduler discipline violated at event #", i, " (", e,
+                 "): ", why));
+    };
+    switch (e.kind) {
+      case EventKind::kRequestCreate:
+        create_requested.insert(e.txn);
+        break;
+      case EventKind::kRequestCommit:
+        commit_requested.emplace(e.txn, e.value);
+        break;
+      case EventKind::kCreate:
+        if (!create_requested.count(e.txn)) {
+          return fail("CREATE without REQUEST_CREATE");
+        }
+        break;
+      case EventKind::kCommit:
+        if (!commit_requested.count(e.txn)) {
+          return fail("COMMIT without REQUEST_COMMIT");
+        }
+        if (aborted.count(e.txn)) return fail("COMMIT after ABORT");
+        committed.insert(e.txn);
+        break;
+      case EventKind::kAbort:
+        if (!create_requested.count(e.txn)) {
+          return fail("ABORT without REQUEST_CREATE");
+        }
+        if (committed.count(e.txn)) return fail("ABORT after COMMIT");
+        if (aborted.count(e.txn)) return fail("double ABORT");
+        aborted.insert(e.txn);
+        break;
+      case EventKind::kReportCommit:
+        if (!committed.count(e.txn)) {
+          return fail("REPORT_COMMIT before COMMIT");
+        }
+        if (commit_requested.at(e.txn) != e.value) {
+          return fail("REPORT_COMMIT value differs from REQUEST_COMMIT");
+        }
+        break;
+      case EventKind::kReportAbort:
+        if (!aborted.count(e.txn)) return fail("REPORT_ABORT before ABORT");
+        break;
+      case EventKind::kInformCommitAt:
+        if (!committed.count(e.txn)) {
+          return fail("INFORM_COMMIT before COMMIT");
+        }
+        break;
+      case EventKind::kInformAbortAt:
+        if (!aborted.count(e.txn)) return fail("INFORM_ABORT before ABORT");
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckConcurrentScheduleWellFormed(const SystemType& st,
+                                         const Schedule& schedule) {
+  return CheckConcurrentWellFormed(st, schedule);
+}
+
+}  // namespace nestedtx

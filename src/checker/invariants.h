@@ -1,0 +1,34 @@
+// Checkable forms of the paper's structural lemmas. Property tests sweep
+// these over randomized and exhaustive executions; a violation pinpoints
+// the lemma that broke.
+#ifndef NESTEDTX_CHECKER_INVARIANTS_H_
+#define NESTEDTX_CHECKER_INVARIANTS_H_
+
+#include "tx/event.h"
+#include "tx/system_type.h"
+#include "util/status.h"
+
+namespace nestedtx {
+
+/// Lemma 6: in a serial schedule, any two transactions live at the same
+/// time are ancestrally related. Checked at every prefix.
+Status CheckOnlyRelatedLive(const SystemType& st, const Schedule& serial);
+
+/// Lemma 12/13 (spot check): visible(α, T) of a serial schedule is
+/// well-formed for every registered transaction T.
+Status CheckVisibleWellFormed(const SystemType& st, const Schedule& serial);
+
+/// Scheduler sanity shared by both systems (Lemmas 4 / 25): no transaction
+/// both commits and aborts; every COMMIT(T) is preceded by a
+/// REQUEST_COMMIT(T, v); every CREATE(T) by a REQUEST_CREATE(T) (T != T0);
+/// every report/INFORM by the corresponding return.
+Status CheckSchedulerDiscipline(const SystemType& st,
+                                const Schedule& schedule);
+
+/// §5.1 well-formedness of a concurrent schedule (Lemma 26).
+Status CheckConcurrentScheduleWellFormed(const SystemType& st,
+                                         const Schedule& schedule);
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_CHECKER_INVARIANTS_H_

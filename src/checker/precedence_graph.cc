@@ -1,0 +1,66 @@
+#include "checker/precedence_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "util/strings.h"
+
+namespace nestedtx {
+
+Result<std::vector<uint64_t>> ConflictSerialOrder(
+    const std::vector<AccessRecord>& records) {
+  std::vector<AccessRecord> sorted = records;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const AccessRecord& a, const AccessRecord& b) {
+              return a.seq < b.seq;
+            });
+
+  std::set<uint64_t> txns;
+  for (const auto& r : sorted) txns.insert(r.txn);
+
+  // adjacency + indegrees
+  std::map<uint64_t, std::set<uint64_t>> edges;
+  std::map<uint64_t, size_t> indegree;
+  for (uint64_t t : txns) indegree[t] = 0;
+
+  std::map<uint64_t, std::vector<AccessRecord>> by_key;
+  for (const auto& r : sorted) by_key[r.key].push_back(r);
+  for (const auto& [key, accs] : by_key) {
+    (void)key;
+    for (size_t i = 0; i < accs.size(); ++i) {
+      for (size_t j = i + 1; j < accs.size(); ++j) {
+        if (accs[i].txn == accs[j].txn) continue;
+        if (!accs[i].is_write && !accs[j].is_write) continue;
+        if (edges[accs[i].txn].insert(accs[j].txn).second) {
+          ++indegree[accs[j].txn];
+        }
+      }
+    }
+  }
+
+  std::priority_queue<uint64_t, std::vector<uint64_t>,
+                      std::greater<uint64_t>>
+      ready;  // deterministic (smallest id first)
+  for (const auto& [t, d] : indegree) {
+    if (d == 0) ready.push(t);
+  }
+  std::vector<uint64_t> order;
+  while (!ready.empty()) {
+    const uint64_t t = ready.top();
+    ready.pop();
+    order.push_back(t);
+    for (uint64_t next : edges[t]) {
+      if (--indegree[next] == 0) ready.push(next);
+    }
+  }
+  if (order.size() != txns.size()) {
+    return Status::Aborted(
+        StrCat("precedence graph has a cycle (", txns.size() - order.size(),
+               " transactions unresolved) — not conflict-serializable"));
+  }
+  return order;
+}
+
+}  // namespace nestedtx

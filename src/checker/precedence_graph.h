@@ -1,0 +1,36 @@
+// Classical conflict-serializability cross-check.
+//
+// The paper's correctness notion (serial correctness at T0) implies, for
+// the top-level transactions, the classical picture: committed top-level
+// transactions admit an equivalent serial order. This module provides the
+// textbook precedence-graph test over flat access traces — used by the
+// engine tests as an independent oracle (it shares no code with the
+// Lemma 33 witness builder).
+#ifndef NESTEDTX_CHECKER_PRECEDENCE_GRAPH_H_
+#define NESTEDTX_CHECKER_PRECEDENCE_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace nestedtx {
+
+/// One access by a (top-level) transaction, in global observation order.
+struct AccessRecord {
+  uint64_t txn = 0;   // top-level transaction identifier
+  uint64_t key = 0;   // object / key identifier
+  bool is_write = false;
+  uint64_t seq = 0;   // global order of the access (unique)
+};
+
+/// Build the precedence graph over conflicting accesses (w-w, w-r, r-w on
+/// the same key, ordered by seq) and topologically sort it.
+/// Returns a serial order of the transactions, or Aborted with a cycle
+/// description if none exists (not conflict-serializable).
+Result<std::vector<uint64_t>> ConflictSerialOrder(
+    const std::vector<AccessRecord>& records);
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_CHECKER_PRECEDENCE_GRAPH_H_

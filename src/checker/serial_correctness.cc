@@ -1,0 +1,216 @@
+#include "checker/serial_correctness.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/strings.h"
+
+namespace nestedtx {
+
+Schedule SequenceMinus(const Schedule& a, const Schedule& b) {
+  std::map<Event, size_t> to_remove;
+  for (const Event& e : b) ++to_remove[e];
+  Schedule out;
+  out.reserve(a.size() >= b.size() ? a.size() - b.size() : 0);
+  for (const Event& e : a) {
+    auto it = to_remove.find(e);
+    if (it != to_remove.end() && it->second > 0) {
+      --it->second;
+    } else {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+SerialWitnessBuilder::SerialWitnessBuilder(const SystemType* st) : st_(st) {
+  tracked_.push_back(TransactionId::Root());
+  for (const TransactionId& t : st->AllTransactions()) {
+    tracked_.push_back(t);
+  }
+  for (const TransactionId& t : tracked_) beta_[t] = Schedule{};
+}
+
+bool SerialWitnessBuilder::IsOrphaned(const TransactionId& t) const {
+  return fate_.IsOrphan(t);
+}
+
+void SerialWitnessBuilder::AppendVisible(const Event& e) {
+  const TransactionId w = TransactionOf(e);
+  for (const TransactionId& t : tracked_) {
+    if (fate_.IsOrphan(t)) continue;
+    if (fate_.IsVisibleTo(w, t)) beta_[t].push_back(e);
+  }
+}
+
+void SerialWitnessBuilder::HandleCommit(const Event& e) {
+  const TransactionId tp = e.txn;           // T'
+  const TransactionId tpp = tp.Parent();    // T''
+  // Snapshots taken before any mutation (the induction uses the schedules
+  // for α', the sequence before this event).
+  const Schedule gamma = beta_.at(tpp);
+  const Schedule beta_tp = beta_.at(tp);
+  const Schedule beta1 = SequenceMinus(beta_tp, gamma);
+
+  for (const TransactionId& t : tracked_) {
+    if (fate_.IsOrphan(t)) continue;
+    // COMMIT(T') has transaction(π) = T'', which at this moment is visible
+    // to T exactly when T is a descendant of T'' (T'' cannot itself have
+    // committed yet — its child is only now returning).
+    if (!tpp.IsAncestorOf(t)) continue;
+    if (tp.IsAncestorOf(t)) {
+      // Case 4, T a descendant of T': straightforward append.
+      beta_[t].push_back(e);
+    } else {
+      // Case 4 merge: γ β₁ COMMIT(T') β₂ (Lemma 18 / Lemma 32).
+      Schedule merged = gamma;
+      merged.insert(merged.end(), beta1.begin(), beta1.end());
+      merged.push_back(e);
+      const Schedule beta2 = SequenceMinus(beta_.at(t), gamma);
+      merged.insert(merged.end(), beta2.begin(), beta2.end());
+      beta_[t] = std::move(merged);
+    }
+  }
+  fate_.committed.insert(tp);
+}
+
+void SerialWitnessBuilder::HandleAbort(const Event& e) {
+  const TransactionId tp = e.txn;           // T'
+  const TransactionId tpp = tp.Parent();    // T''
+  const Schedule gamma = beta_.at(tpp);
+
+  for (const TransactionId& t : tracked_) {
+    if (fate_.IsOrphan(t)) continue;
+    if (!tpp.IsAncestorOf(t)) continue;
+    if (tp.IsAncestorOf(t)) continue;  // becomes an orphan; frozen
+    // Case 5 merge: γ ABORT(T') β₁ (Lemma 19).
+    Schedule merged = gamma;
+    merged.push_back(e);
+    const Schedule beta1 = SequenceMinus(beta_.at(t), gamma);
+    merged.insert(merged.end(), beta1.begin(), beta1.end());
+    beta_[t] = std::move(merged);
+  }
+  fate_.aborted.insert(tp);
+}
+
+Status SerialWitnessBuilder::Feed(const Event& e) {
+  switch (e.kind) {
+    case EventKind::kInformCommitAt:
+    case EventKind::kInformAbortAt:
+      return Status::OK();  // not serial operations
+    case EventKind::kCommit:
+      HandleCommit(e);
+      return Status::OK();
+    case EventKind::kAbort:
+      HandleAbort(e);
+      return Status::OK();
+    default:
+      AppendVisible(e);
+      return Status::OK();
+  }
+}
+
+Result<Schedule> SerialWitnessBuilder::WitnessFor(
+    const TransactionId& t) const {
+  if (fate_.IsOrphan(t)) {
+    return Status::FailedPrecondition(
+        StrCat(t, " is an orphan; the theorem does not apply"));
+  }
+  auto it = beta_.find(t);
+  if (it == beta_.end()) {
+    return Status::InvalidArgument(StrCat(t, " is not a tracked transaction"));
+  }
+  return it->second;
+}
+
+namespace {
+
+// Verification (b): replay `witness` through a freshly built serial
+// system; every event must be applicable in turn.
+Status ReplaySerial(const SystemType& st, const Schedule& witness,
+                    const ScriptOptions& script) {
+  SerialSystemOptions options;
+  options.script = script;
+  auto system = MakeSerialSystem(st, options);
+  if (!system.ok()) return system.status();
+  for (size_t i = 0; i < witness.size(); ++i) {
+    Status s = (*system)->Apply(witness[i]);
+    if (!s.ok()) {
+      return Status::Internal(
+          StrCat("witness is not a serial schedule: event #", i, " (",
+                 witness[i], ") rejected: ", s.ToString()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+namespace {
+
+// Verification steps (a)-(c) for one transaction, given a prebuilt witness.
+Status VerifyWitness(const SystemType& st, const Schedule& alpha,
+                     const TransactionId& t, const Schedule& witness,
+                     const ScriptOptions& script);
+
+}  // namespace
+
+Status CheckSeriallyCorrect(const SystemType& st, const Schedule& alpha,
+                            const TransactionId& t,
+                            const ScriptOptions& script) {
+  if (IsOrphan(alpha, t)) {
+    return Status::FailedPrecondition(
+        StrCat(t, " is an orphan in alpha; nothing to check"));
+  }
+  SerialWitnessBuilder builder(&st);
+  for (const Event& e : alpha) RETURN_IF_ERROR(builder.Feed(e));
+  Result<Schedule> witness = builder.WitnessFor(t);
+  if (!witness.ok()) return witness.status();
+  return VerifyWitness(st, alpha, t, *witness, script);
+}
+
+Status CheckSeriallyCorrectForAll(const SystemType& st,
+                                  const Schedule& alpha,
+                                  const ScriptOptions& script) {
+  SerialWitnessBuilder builder(&st);
+  for (const Event& e : alpha) RETURN_IF_ERROR(builder.Feed(e));
+  std::vector<TransactionId> txns = {TransactionId::Root()};
+  for (const TransactionId& t : st.AllTransactions()) txns.push_back(t);
+  for (const TransactionId& t : txns) {
+    if (builder.IsOrphaned(t)) continue;
+    Result<Schedule> witness = builder.WitnessFor(t);
+    if (!witness.ok()) return witness.status();
+    RETURN_IF_ERROR(VerifyWitness(st, alpha, t, *witness, script));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status VerifyWitness(const SystemType& st, const Schedule& alpha,
+                     const TransactionId& t, const Schedule& witness,
+                     const ScriptOptions& script) {
+  // (a) write-equivalence to visible(alpha, t).
+  const Schedule vis = Visible(alpha, t);
+  Status weq = CheckWriteEquivalent(st, witness, vis);
+  if (!weq.ok()) {
+    return Status::Internal(StrCat("witness for ", t,
+                                   " is not write-equivalent to visible: ",
+                                   weq.ToString()));
+  }
+  // (b) witness is a serial schedule.
+  RETURN_IF_ERROR(ReplaySerial(st, witness, script));
+
+  // (c) serial correctness proper: witness|T == alpha|T.
+  if (st.IsInternal(t)) {
+    if (ProjectTransaction(witness, t) != ProjectTransaction(alpha, t)) {
+      return Status::Internal(
+          StrCat("projection at ", t, " differs between witness and alpha"));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+}  // namespace nestedtx

@@ -1,0 +1,91 @@
+// Mechanized Lemma 33 / Theorem 34.
+//
+// The paper proves: for every schedule α of a R/W Locking system and every
+// non-orphan transaction T, there is a serial schedule β write-equivalent
+// to visible(α, T) — hence β|T = α|T (serial correctness for T).
+//
+// The proof is constructive, by induction on α with a seven-way case split
+// on the last event. This checker runs that construction: it maintains,
+// for every registered transaction T (and T0), a candidate serial schedule
+// beta[T], updated per event:
+//
+//   * π with transaction(π) visible to T, π not COMMIT/ABORT:
+//         beta[T] := beta[T] · π                       (cases 1,2,3,6,7)
+//   * π = COMMIT(T'), T'' = parent(T'):
+//       - T a descendant of T':    beta[T] := beta[T] · π
+//       - T a descendant of T'' only (Lemma 18/32 merge):
+//         beta[T] := γ · (beta[T'] − γ) · π · (beta[T] − γ),  γ = beta[T'']
+//   * π = ABORT(T'), T'' = parent(T'')'s parent (Lemma 19 merge):
+//       - T a descendant of T'' but not T':
+//         beta[T] := γ · π · (beta[T] − γ),             γ = beta[T'']
+//       - descendants of T' become orphans; their beta is frozen.
+//   * INFORM events: ignored (not serial operations).
+//
+// The witness is then verified *independently* of the construction:
+//   (a) beta[T] is write-equivalent to visible(α, T)   (§6.1 definition),
+//   (b) beta[T] replays as a schedule of the serial system (every event
+//       enabled in turn), and
+//   (c) beta[T] | T == α | T  (the statement of serial correctness).
+// A failure of any check is a counterexample to the theorem (or a bug in
+// the system under test) and is reported with the violating detail.
+#ifndef NESTEDTX_CHECKER_SERIAL_CORRECTNESS_H_
+#define NESTEDTX_CHECKER_SERIAL_CORRECTNESS_H_
+
+#include <map>
+#include <set>
+
+#include "serial/serial_system.h"
+#include "tx/event.h"
+#include "tx/system_type.h"
+#include "tx/visibility.h"
+#include "util/status.h"
+
+namespace nestedtx {
+
+/// Incremental witness builder (the Lemma 33 induction).
+class SerialWitnessBuilder {
+ public:
+  explicit SerialWitnessBuilder(const SystemType* st);
+
+  /// Feed the next event of the concurrent schedule.
+  Status Feed(const Event& e);
+
+  /// The candidate serial schedule for T. Fails if T is an orphan (the
+  /// theorem says nothing about orphans).
+  Result<Schedule> WitnessFor(const TransactionId& t) const;
+
+  /// Transactions with a frozen (orphaned) witness.
+  bool IsOrphaned(const TransactionId& t) const;
+
+ private:
+  void AppendVisible(const Event& e);
+  void HandleCommit(const Event& e);
+  void HandleAbort(const Event& e);
+
+  const SystemType* st_;
+  std::vector<TransactionId> tracked_;  // T0 + all registered transactions
+  std::map<TransactionId, Schedule> beta_;
+  FateIndex fate_;  // maintained incrementally
+};
+
+/// Full check of serial correctness of `alpha` for `t`:
+/// builds the witness and runs verification steps (a)-(c) above.
+/// `script` must match the ScriptOptions the concurrent system's
+/// transaction automata ran with (witness replay re-executes them).
+Status CheckSeriallyCorrect(const SystemType& st, const Schedule& alpha,
+                            const TransactionId& t,
+                            const ScriptOptions& script = {});
+
+/// Check serial correctness for every non-orphan transaction of `st`
+/// (Theorem 34 in full). Returns the first failure.
+Status CheckSeriallyCorrectForAll(const SystemType& st,
+                                  const Schedule& alpha,
+                                  const ScriptOptions& script = {});
+
+/// Multiset difference α − β: remove one occurrence of each event of β
+/// from α, preserving α's order (the paper's sequence subtraction).
+Schedule SequenceMinus(const Schedule& a, const Schedule& b);
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_CHECKER_SERIAL_CORRECTNESS_H_

@@ -1,0 +1,96 @@
+#include "core/database.h"
+
+#include <chrono>
+#include <thread>
+
+#include "util/random.h"
+#include "util/strings.h"
+
+namespace nestedtx {
+
+namespace {
+
+// Exponential backoff with jitter between retry attempts: under a
+// persistent collision (two transactions that keep choosing each other as
+// deadlock victims), desynchronizing the retries is what actually breaks
+// the livelock.
+void BackoffBeforeRetry(int attempt) {
+  static thread_local Rng rng(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  const int shift = attempt < 8 ? attempt : 8;
+  const uint64_t ceiling_us = 50ull << shift;  // 50us .. ~12.8ms
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(rng.Uniform(ceiling_us) + 1));
+}
+
+}  // namespace
+
+Database::Database(EngineOptions options) : manager_(options) {}
+
+Status Database::EnableTracing() {
+  if (manager_.options().cc_mode == CcMode::kFlat2PL) {
+    return Status::InvalidArgument(
+        "tracing is not supported under flat 2PL (its locking does not "
+        "correspond to a R/W Locking system)");
+  }
+  if (manager_.stats().txns_begun.load() != 0) {
+    return Status::FailedPrecondition(
+        "EnableTracing must be called before the first transaction");
+  }
+  if (trace_ == nullptr) {
+    trace_ = std::make_unique<EngineTraceRecorder>();
+    manager_.locks().SetTraceRecorder(trace_.get());
+  }
+  return Status::OK();
+}
+
+void Database::Preload(const std::string& key, int64_t value) {
+  manager_.locks().SetBase(key, value);
+  if (trace_ != nullptr) trace_->RecordPreload(key, value);
+}
+
+std::optional<int64_t> Database::ReadCommitted(const std::string& key) {
+  return manager_.locks().ReadBase(key);
+}
+
+Status Database::RunTransaction(int max_attempts, const TxnBody& body) {
+  Status last = Status::Internal("no attempts made");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    std::unique_ptr<Transaction> txn = Begin();
+    Status s = body(*txn);
+    if (s.ok()) {
+      s = txn->Commit();
+      if (s.ok()) return Status::OK();
+    }
+    if (!txn->returned()) txn->Abort();
+    if (!Retryable(s)) return s;
+    last = s;
+    BackoffBeforeRetry(attempt);
+  }
+  return Status::Aborted(
+      StrCat("transaction gave up after ", max_attempts,
+             " attempts; last: ", last.ToString()));
+}
+
+Status Database::RunNested(Transaction& parent, int max_attempts,
+                           const TxnBody& body) {
+  Status last = Status::Internal("no attempts made");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    Result<std::unique_ptr<Transaction>> child = parent.BeginChild();
+    if (!child.ok()) return child.status();
+    Status s = body(**child);
+    if (s.ok()) {
+      s = (*child)->Commit();
+      if (s.ok()) return Status::OK();
+    }
+    if (!(*child)->returned()) (*child)->Abort();
+    if (!Retryable(s)) return s;
+    last = s;
+    BackoffBeforeRetry(attempt);
+  }
+  return Status::Aborted(
+      StrCat("subtransaction gave up after ", max_attempts,
+             " attempts; last: ", last.ToString()));
+}
+
+}  // namespace nestedtx

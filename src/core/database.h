@@ -1,0 +1,77 @@
+// Public facade: a nested-transaction key-value store whose concurrency
+// control is Moss's read/write locking (or a configured baseline).
+//
+// This is the engine-layer counterpart of the paper's R/W Locking system:
+// Transaction handles play the transaction automata, the LockManager
+// plays the R/W Locking objects, and the thread scheduler plays the
+// generic scheduler.
+#ifndef NESTEDTX_CORE_DATABASE_H_
+#define NESTEDTX_CORE_DATABASE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/options.h"
+#include "core/stats.h"
+#include "core/trace_recorder.h"
+#include "core/transaction.h"
+#include "util/status.h"
+
+namespace nestedtx {
+
+class Database {
+ public:
+  explicit Database(EngineOptions options = {});
+
+  /// Begin a top-level transaction.
+  std::unique_ptr<Transaction> Begin() { return manager_.Begin(); }
+
+  /// Install a committed value without a transaction (setup only; must not
+  /// race with live transactions).
+  void Preload(const std::string& key, int64_t value);
+
+  /// Read the committed base value (bypasses locking; for setup/verify,
+  /// not for use concurrent with writers).
+  std::optional<int64_t> ReadCommitted(const std::string& key);
+
+  /// Body of a transaction; return OK to request commit, any error to
+  /// abort (the error is propagated or retried).
+  using TxnBody = std::function<Status(Transaction&)>;
+
+  /// Run `body` as a top-level transaction, retrying on Deadlock /
+  /// TimedOut / Aborted up to `max_attempts` times.
+  Status RunTransaction(int max_attempts, const TxnBody& body);
+
+  /// Run `body` as a subtransaction of `parent` with the same retry
+  /// policy — the partial-abort idiom: only this subtree retries.
+  static Status RunNested(Transaction& parent, int max_attempts,
+                          const TxnBody& body);
+
+  /// Self-verifying mode: record this database's execution as a schedule
+  /// of the formal model's R/W Locking system, checkable afterwards with
+  /// CheckSeriallyCorrectForAll (see core/trace_recorder.h). Must be
+  /// called before the first transaction; not supported under kFlat2PL
+  /// (whose locking does not correspond to a R/W Locking system).
+  Status EnableTracing();
+
+  /// The recorder, or nullptr if tracing is off.
+  EngineTraceRecorder* trace() { return trace_.get(); }
+
+  EngineStats& stats() { return manager_.stats(); }
+  const EngineOptions& options() const { return manager_.options(); }
+  TransactionManager& manager() { return manager_; }
+
+ private:
+  static bool Retryable(const Status& s) {
+    return s.IsDeadlock() || s.IsTimedOut() || s.IsAborted();
+  }
+
+  TransactionManager manager_;
+  std::unique_ptr<EngineTraceRecorder> trace_;
+};
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_CORE_DATABASE_H_

@@ -1,0 +1,200 @@
+#include "core/lock_manager.h"
+
+#include <functional>
+
+#include "serial/data_type.h"
+#include "util/strings.h"
+
+namespace nestedtx {
+
+LockManager::LockManager(const EngineOptions& options, EngineStats* stats)
+    : options_(options), stats_(stats), shards_(options.lock_table_shards) {}
+
+LockManager::KeyState& LockManager::GetKeyState(const std::string& key) {
+  Shard& shard = shards_[std::hash<std::string>{}(key) % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.m);
+  auto it = shard.keys.find(key);
+  if (it == shard.keys.end()) {
+    it = shard.keys.emplace(key, std::make_unique<KeyState>()).first;
+  }
+  return *it->second;
+}
+
+std::optional<int64_t> LockManager::CurrentValue(const KeyState& ks) {
+  const TransactionId* deepest = nullptr;
+  for (const TransactionId& w : ks.write_holders) {
+    if (deepest == nullptr || w.Depth() > deepest->Depth()) deepest = &w;
+  }
+  if (deepest != nullptr) return ks.versions.at(*deepest);
+  return ks.base;
+}
+
+std::vector<TransactionId> LockManager::Conflicts(const KeyState& ks,
+                                                  const TransactionId& txn,
+                                                  bool exclusive) {
+  std::vector<TransactionId> out;
+  for (const TransactionId& w : ks.write_holders) {
+    if (!w.IsAncestorOf(txn)) out.push_back(w);
+  }
+  if (exclusive) {
+    for (const TransactionId& r : ks.read_holders) {
+      if (!r.IsAncestorOf(txn)) out.push_back(r);
+    }
+  }
+  return out;
+}
+
+Status LockManager::WaitForGrant(KeyState& ks,
+                                 std::unique_lock<std::mutex>& lk,
+                                 const TransactionId& txn, bool exclusive) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.lock_timeout;
+  bool waited = false;
+  for (;;) {
+    std::vector<TransactionId> conflicts = Conflicts(ks, txn, exclusive);
+    if (conflicts.empty()) {
+      if (waited) wait_graph_.RemoveWait(txn);
+      return Status::OK();
+    }
+    if (options_.deadlock_policy == DeadlockPolicy::kWaitForGraph) {
+      Status reg = wait_graph_.AddWait(txn, conflicts);
+      if (!reg.ok()) {
+        stats_->deadlocks.fetch_add(1);
+        return reg;  // Deadlock; requester is the victim
+      }
+    }
+    if (!waited) {
+      waited = true;
+      stats_->lock_waits.fetch_add(1);
+    }
+    if (ks.cv.wait_until(lk, deadline) == std::cv_status::timeout) {
+      // One final re-check under the lock before declaring timeout.
+      if (Conflicts(ks, txn, exclusive).empty()) {
+        wait_graph_.RemoveWait(txn);
+        return Status::OK();
+      }
+      wait_graph_.RemoveWait(txn);
+      stats_->lock_timeouts.fetch_add(1);
+      return Status::TimedOut(
+          StrCat(txn, " timed out waiting for lock on key"));
+    }
+  }
+}
+
+Result<std::optional<int64_t>> LockManager::AcquireRead(
+    const TransactionId& txn, const std::string& key,
+    const AccessTraceInfo* trace) {
+  KeyState& ks = GetKeyState(key);
+  std::unique_lock<std::mutex> lk(ks.m);
+  RETURN_IF_ERROR(WaitForGrant(ks, lk, txn, /*exclusive=*/false));
+  ks.read_holders.insert(txn);
+  stats_->lock_grants.fetch_add(1);
+  stats_->reads.fetch_add(1);
+  const std::optional<int64_t> value = CurrentValue(ks);
+  if (recorder_ != nullptr && trace != nullptr) {
+    // Emitted under the key mutex: the recorded per-object order is the
+    // grant order the lock manager enforced.
+    recorder_->EmitAccess(key, *trace, value.value_or(kAbsentValue));
+  }
+  return value;
+}
+
+Result<std::optional<int64_t>> LockManager::AcquireWrite(
+    const TransactionId& txn, const std::string& key,
+    const Mutator& mutator, const AccessTraceInfo* trace) {
+  KeyState& ks = GetKeyState(key);
+  std::unique_lock<std::mutex> lk(ks.m);
+  RETURN_IF_ERROR(WaitForGrant(ks, lk, txn, /*exclusive=*/true));
+  const std::optional<int64_t> current = CurrentValue(ks);
+  const std::optional<int64_t> next = mutator(current);
+  ks.write_holders.insert(txn);
+  ks.versions[txn] = next;
+  stats_->lock_grants.fetch_add(1);
+  stats_->writes.fetch_add(1);
+  if (recorder_ != nullptr && trace != nullptr) {
+    recorder_->EmitAccess(key, *trace, next.value_or(kAbsentValue));
+  }
+  return next;
+}
+
+void LockManager::OnCommit(const TransactionId& txn,
+                           const TransactionId& parent,
+                           const std::set<std::string>& keys) {
+  for (const std::string& key : keys) {
+    KeyState& ks = GetKeyState(key);
+    std::lock_guard<std::mutex> lock(ks.m);
+    bool changed = false;
+    if (ks.write_holders.erase(txn)) {
+      auto version = ks.versions.extract(txn);
+      if (parent.IsRoot()) {
+        ks.base = version.mapped();  // top-level commit: install as base
+      } else {
+        ks.write_holders.insert(parent);
+        ks.versions[parent] = version.mapped();
+      }
+      stats_->locks_inherited.fetch_add(1);
+      changed = true;
+    }
+    if (ks.read_holders.erase(txn)) {
+      if (!parent.IsRoot()) ks.read_holders.insert(parent);
+      stats_->locks_inherited.fetch_add(1);
+      changed = true;
+    }
+    if (changed) {
+      if (recorder_ != nullptr) {
+        recorder_->Emit(
+            Event::InformCommitAt(recorder_->ObjectFor(key), txn));
+      }
+      ks.cv.notify_all();
+    }
+  }
+}
+
+void LockManager::OnAbort(const TransactionId& txn,
+                          const std::set<std::string>& keys) {
+  for (const std::string& key : keys) {
+    KeyState& ks = GetKeyState(key);
+    std::lock_guard<std::mutex> lock(ks.m);
+    bool changed = false;
+    // Discard entries of txn and (defensively) any stray descendants.
+    for (auto it = ks.write_holders.begin(); it != ks.write_holders.end();) {
+      if (txn.IsAncestorOf(*it)) {
+        ks.versions.erase(*it);
+        it = ks.write_holders.erase(it);
+        stats_->versions_discarded.fetch_add(1);
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = ks.read_holders.begin(); it != ks.read_holders.end();) {
+      if (txn.IsAncestorOf(*it)) {
+        it = ks.read_holders.erase(it);
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
+    if (recorder_ != nullptr) {
+      // Informed even when no lock was held (the model's generic
+      // scheduler may inform any object of any abort).
+      recorder_->Emit(Event::InformAbortAt(recorder_->ObjectFor(key), txn));
+    }
+    if (changed) ks.cv.notify_all();
+  }
+}
+
+void LockManager::SetBase(const std::string& key,
+                          std::optional<int64_t> value) {
+  KeyState& ks = GetKeyState(key);
+  std::lock_guard<std::mutex> lock(ks.m);
+  ks.base = value;
+}
+
+std::optional<int64_t> LockManager::ReadBase(const std::string& key) {
+  KeyState& ks = GetKeyState(key);
+  std::lock_guard<std::mutex> lock(ks.m);
+  return ks.base;
+}
+
+}  // namespace nestedtx

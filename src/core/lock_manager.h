@@ -1,0 +1,122 @@
+// Threaded Moss lock manager with version storage — the engine-side
+// realization of the R/W Locking object M(X) of §5.1, one instance
+// managing every key of the store.
+//
+// Per key it keeps read/write holder sets and a version map
+// (owner transaction -> value), exactly the state of M(X); the committed
+// ("base") value plays the role of map(T0). Lock compatibility is Moss's
+// rule: a read needs every write holder to be an ancestor of the
+// requester; a write needs every holder (read or write) to be an
+// ancestor. On commit, a transaction's locks and version pass to its
+// parent; on abort they are discarded.
+//
+// Blocking: conflicting requests wait on the key's condition variable,
+// registering in the WaitGraph (victim = requester on cycle) or bounded
+// by the configured timeout.
+#ifndef NESTEDTX_CORE_LOCK_MANAGER_H_
+#define NESTEDTX_CORE_LOCK_MANAGER_H_
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/options.h"
+#include "core/stats.h"
+#include "core/trace_recorder.h"
+#include "core/wait_graph.h"
+#include "tx/transaction_id.h"
+#include "util/status.h"
+
+namespace nestedtx {
+
+class LockManager {
+ public:
+  LockManager(const EngineOptions& options, EngineStats* stats);
+
+  /// Acquire a read lock on `key` for `txn` (blocking) and return the
+  /// value `txn` observes: the deepest write holder's version, else the
+  /// committed base, else nullopt (absent key). If tracing is enabled and
+  /// `trace` is given, the access's event group is recorded atomically
+  /// with the grant.
+  Result<std::optional<int64_t>> AcquireRead(
+      const TransactionId& txn, const std::string& key,
+      const AccessTraceInfo* trace = nullptr);
+
+  /// Acquire a write lock on `key` for `txn` (blocking), apply `mutator`
+  /// to the observed value, store the result as txn's version, and return
+  /// it. `mutator` returning nullopt stores a deletion.
+  using Mutator =
+      std::function<std::optional<int64_t>(std::optional<int64_t>)>;
+  Result<std::optional<int64_t>> AcquireWrite(
+      const TransactionId& txn, const std::string& key,
+      const Mutator& mutator, const AccessTraceInfo* trace = nullptr);
+
+  /// Commit `txn`'s entries on `keys`: locks and version pass to `parent`.
+  /// A top-level commit (parent == T0) releases the locks and installs the
+  /// version as the committed base.
+  void OnCommit(const TransactionId& txn, const TransactionId& parent,
+                const std::set<std::string>& keys);
+
+  /// Abort `txn`: its entries on `keys` are discarded.
+  void OnAbort(const TransactionId& txn, const std::set<std::string>& keys);
+
+  /// Non-transactional access to the committed base (preload/verify).
+  void SetBase(const std::string& key, std::optional<int64_t> value);
+  std::optional<int64_t> ReadBase(const std::string& key);
+
+  WaitGraph& wait_graph() { return wait_graph_; }
+
+  /// Attach a trace recorder (before any transaction runs). The recorder
+  /// must outlive the lock manager.
+  void SetTraceRecorder(EngineTraceRecorder* recorder) {
+    recorder_ = recorder;
+  }
+  EngineTraceRecorder* trace_recorder() { return recorder_; }
+
+ private:
+  struct KeyState {
+    std::mutex m;
+    std::condition_variable cv;
+    std::set<TransactionId> read_holders;
+    std::set<TransactionId> write_holders;
+    std::map<TransactionId, std::optional<int64_t>> versions;
+    std::optional<int64_t> base;
+  };
+
+  KeyState& GetKeyState(const std::string& key);
+
+  // The value txn observes: deepest write holder's version, else base.
+  // Caller holds ks.m.
+  static std::optional<int64_t> CurrentValue(const KeyState& ks);
+
+  // Conflicting holders for the given request (caller holds ks.m).
+  static std::vector<TransactionId> Conflicts(const KeyState& ks,
+                                              const TransactionId& txn,
+                                              bool exclusive);
+
+  // Block until no conflicts (or error). Caller holds `lk` on ks.m.
+  Status WaitForGrant(KeyState& ks, std::unique_lock<std::mutex>& lk,
+                      const TransactionId& txn, bool exclusive);
+
+  EngineOptions options_;
+  EngineStats* stats_;
+  WaitGraph wait_graph_;
+  EngineTraceRecorder* recorder_ = nullptr;
+
+  struct Shard {
+    std::mutex m;
+    std::unordered_map<std::string, std::unique_ptr<KeyState>> keys;
+  };
+  std::vector<Shard> shards_;
+};
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_CORE_LOCK_MANAGER_H_

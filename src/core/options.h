@@ -1,0 +1,55 @@
+// Engine configuration (RocksDB-style Options struct).
+#ifndef NESTEDTX_CORE_OPTIONS_H_
+#define NESTEDTX_CORE_OPTIONS_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace nestedtx {
+
+/// Concurrency-control mode. kMossRW is the paper's algorithm; the others
+/// are the baselines the paper itself names (see DESIGN.md).
+enum class CcMode {
+  /// Moss nested read/write locking (§5.1): read locks shared, write locks
+  /// exclusive, conflicts judged against ancestors, locks inherited by the
+  /// parent on commit, discarded on abort.
+  kMossRW,
+  /// Exclusive nested locking ([LM]): every access takes a write lock.
+  /// Exactly what Moss's algorithm degenerates to with no read accesses.
+  kExclusive,
+  /// Flat two-phase locking: locks are taken directly in the name of the
+  /// top-level transaction; subtransaction structure is ignored, so a
+  /// subtransaction abort dooms the whole transaction (System R without
+  /// savepoints — the motivation contrast in the paper's introduction).
+  kFlat2PL,
+  /// Serial execution: one top-level transaction at a time (the serial
+  /// scheduler's discipline; the correctness yardstick and the
+  /// lower-bound baseline).
+  kSerial,
+};
+
+const char* CcModeName(CcMode mode);
+
+/// How lock waits are resolved.
+enum class DeadlockPolicy {
+  /// Maintain a wait-for graph; a requester whose wait would close a
+  /// cycle receives Status::Deadlock immediately (victim = requester,
+  /// which in a nested world means only that subtree retries).
+  kWaitForGraph,
+  /// No graph; waits time out after `lock_timeout` (deadlocks surface as
+  /// Status::TimedOut).
+  kTimeoutOnly,
+};
+
+struct EngineOptions {
+  CcMode cc_mode = CcMode::kMossRW;
+  DeadlockPolicy deadlock_policy = DeadlockPolicy::kWaitForGraph;
+  /// Upper bound on any single lock wait (also the kTimeoutOnly horizon).
+  std::chrono::milliseconds lock_timeout{2000};
+  /// Number of lock-table shards (power of two).
+  size_t lock_table_shards = 64;
+};
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_CORE_OPTIONS_H_

@@ -1,0 +1,131 @@
+#include "core/replicated.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace nestedtx {
+
+Status ReplicationOptions::Validate() const {
+  if (copies < 1) return Status::InvalidArgument("copies must be >= 1");
+  if (read_quorum < 1 || read_quorum > copies) {
+    return Status::InvalidArgument("read_quorum out of range");
+  }
+  if (write_quorum < 1 || write_quorum > copies) {
+    return Status::InvalidArgument("write_quorum out of range");
+  }
+  if (read_quorum + write_quorum <= copies) {
+    return Status::InvalidArgument(
+        "quorums must intersect: read_quorum + write_quorum > copies");
+  }
+  return Status::OK();
+}
+
+ReplicatedKV::ReplicatedKV(Database* db, ReplicationOptions options)
+    : db_(db),
+      options_(options),
+      available_(new std::atomic<bool>[options.copies]) {
+  for (int i = 0; i < options_.copies; ++i) available_[i].store(true);
+}
+
+void ReplicatedKV::SetCopyAvailable(int copy, bool available) {
+  available_[copy].store(available);
+}
+
+bool ReplicatedKV::CopyAvailable(int copy) const {
+  return available_[copy].load();
+}
+
+std::string ReplicatedKV::VersionKey(const std::string& key,
+                                     int copy) const {
+  return StrCat(key, "@c", copy, ".ver");
+}
+
+std::string ReplicatedKV::DataKey(const std::string& key, int copy) const {
+  return StrCat(key, "@c", copy, ".val");
+}
+
+Result<std::vector<ReplicatedKV::CopyRead>> ReplicatedKV::ReadQuorum(
+    Transaction& parent, const std::string& key, int quorum) {
+  std::vector<CopyRead> reads;
+  const uint32_t start = rotor_.fetch_add(1);
+  for (int i = 0; i < options_.copies && (int)reads.size() < quorum; ++i) {
+    const int copy = (start + i) % options_.copies;
+    CopyRead r{copy, 0, std::nullopt};
+    // One subtransaction per copy: an unavailable copy aborts only this
+    // call, and the loop moves on to the next copy.
+    Status s = Database::RunNested(parent, 1, [&](Transaction& c) -> Status {
+      if (!CopyAvailable(copy)) {
+        return Status::Aborted(StrCat("copy ", copy, " unavailable"));
+      }
+      auto ver = c.TryGet(VersionKey(key, copy));
+      if (!ver.ok()) return ver.status();
+      r.version = ver->value_or(0);
+      if (r.version > 0) {
+        auto data = c.TryGet(DataKey(key, copy));
+        if (!data.ok()) return data.status();
+        r.data = *data;
+      }
+      return Status::OK();
+    });
+    if (s.ok()) reads.push_back(r);
+  }
+  if ((int)reads.size() < quorum) {
+    return Status::Aborted(
+        StrCat("only ", reads.size(), " of ", quorum,
+               " required copies reachable for '", key, "'"));
+  }
+  return reads;
+}
+
+Status ReplicatedKV::Put(Transaction& parent, const std::string& key,
+                         int64_t value) {
+  RETURN_IF_ERROR(options_.Validate());
+  // Learn the highest installed version from a read quorum.
+  auto reads = ReadQuorum(parent, key, options_.read_quorum);
+  if (!reads.ok()) return reads.status();
+  int64_t max_version = 0;
+  for (const CopyRead& r : *reads) {
+    max_version = std::max(max_version, r.version);
+  }
+  const int64_t new_version = max_version + 1;
+
+  // Install on a write quorum, one subtransaction per copy.
+  int installed = 0;
+  const uint32_t start = rotor_.fetch_add(1);
+  for (int i = 0; i < options_.copies && installed < options_.write_quorum;
+       ++i) {
+    const int copy = (start + i) % options_.copies;
+    Status s = Database::RunNested(parent, 1, [&](Transaction& c) -> Status {
+      if (!CopyAvailable(copy)) {
+        return Status::Aborted(StrCat("copy ", copy, " unavailable"));
+      }
+      RETURN_IF_ERROR(c.Put(VersionKey(key, copy), new_version));
+      return c.Put(DataKey(key, copy), value);
+    });
+    if (s.ok()) ++installed;
+  }
+  if (installed < options_.write_quorum) {
+    return Status::Aborted(
+        StrCat("only ", installed, " of ", options_.write_quorum,
+               " required copies writable for '", key, "'"));
+  }
+  return Status::OK();
+}
+
+Result<std::optional<int64_t>> ReplicatedKV::Get(Transaction& parent,
+                                                 const std::string& key) {
+  RETURN_IF_ERROR(options_.Validate());
+  auto reads = ReadQuorum(parent, key, options_.read_quorum);
+  if (!reads.ok()) return reads.status();
+  const CopyRead* best = nullptr;
+  for (const CopyRead& r : *reads) {
+    if (best == nullptr || r.version > best->version) best = &r;
+  }
+  if (best == nullptr || best->version == 0) {
+    return std::optional<int64_t>{};
+  }
+  return best->data;
+}
+
+}  // namespace nestedtx

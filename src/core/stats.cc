@@ -1,0 +1,40 @@
+#include "core/stats.h"
+
+#include <sstream>
+
+namespace nestedtx {
+
+std::string EngineStats::ToString() const {
+  std::ostringstream oss;
+  oss << "txns{begun=" << txns_begun.load()
+      << " committed=" << txns_committed.load()
+      << " aborted=" << txns_aborted.load()
+      << " top_committed=" << top_level_committed.load()
+      << " top_aborted=" << top_level_aborted.load() << "}"
+      << " ops{reads=" << reads.load() << " writes=" << writes.load() << "}"
+      << " locks{grants=" << lock_grants.load()
+      << " waits=" << lock_waits.load()
+      << " deadlocks=" << deadlocks.load()
+      << " timeouts=" << lock_timeouts.load()
+      << " inherited=" << locks_inherited.load()
+      << " versions_discarded=" << versions_discarded.load() << "}";
+  return oss.str();
+}
+
+void EngineStats::Reset() {
+  txns_begun = 0;
+  txns_committed = 0;
+  txns_aborted = 0;
+  top_level_committed = 0;
+  top_level_aborted = 0;
+  reads = 0;
+  writes = 0;
+  lock_grants = 0;
+  lock_waits = 0;
+  deadlocks = 0;
+  lock_timeouts = 0;
+  locks_inherited = 0;
+  versions_discarded = 0;
+}
+
+}  // namespace nestedtx

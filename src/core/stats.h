@@ -1,0 +1,33 @@
+// Engine counters. All atomics; cheap enough to leave always-on.
+#ifndef NESTEDTX_CORE_STATS_H_
+#define NESTEDTX_CORE_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace nestedtx {
+
+struct EngineStats {
+  std::atomic<uint64_t> txns_begun{0};
+  std::atomic<uint64_t> txns_committed{0};
+  std::atomic<uint64_t> txns_aborted{0};
+  std::atomic<uint64_t> top_level_committed{0};
+  std::atomic<uint64_t> top_level_aborted{0};
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> lock_grants{0};
+  std::atomic<uint64_t> lock_waits{0};
+  std::atomic<uint64_t> deadlocks{0};
+  std::atomic<uint64_t> lock_timeouts{0};
+  std::atomic<uint64_t> locks_inherited{0};
+  std::atomic<uint64_t> versions_discarded{0};
+
+  std::string ToString() const;
+
+  void Reset();
+};
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_CORE_STATS_H_

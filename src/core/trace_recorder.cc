@@ -1,0 +1,120 @@
+#include "core/trace_recorder.h"
+
+#include <algorithm>
+#include <set>
+
+#include "serial/data_type.h"
+#include "util/strings.h"
+
+namespace nestedtx {
+
+EngineTraceRecorder::EngineTraceRecorder() {
+  // The environment exists before everything else.
+  Emit(Event::Create(TransactionId::Root()));
+}
+
+void EngineTraceRecorder::Emit(const Event& e) {
+  const uint64_t n = seq_.fetch_add(1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.emplace_back(n, e);
+}
+
+void EngineTraceRecorder::EmitAccess(const std::string& key,
+                                     const AccessTraceInfo& info,
+                                     Value value) {
+  const ObjectId x = ObjectFor(key);
+  // Record classification once (idempotent per access id).
+  const bool is_read = info.op_code == ops::kRead;
+  RecordAccessKind(info.access_id, x,
+                   is_read ? AccessKind::kRead : AccessKind::kWrite,
+                   OpDescriptor{info.op_code, info.op_arg});
+  // The whole access lifecycle, atomically ordered: the generic scheduler
+  // is free to run these back-to-back, and the engine effectively does.
+  Emit(Event::RequestCreate(info.access_id));
+  Emit(Event::Create(info.access_id));
+  Emit(Event::RequestCommit(info.access_id, value));
+  Emit(Event::Commit(info.access_id));
+  Emit(Event::ReportCommit(info.access_id, value));
+  Emit(Event::InformCommitAt(x, info.access_id));
+}
+
+ObjectId EngineTraceRecorder::ObjectFor(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = object_by_key_.find(key);
+  if (it != object_by_key_.end()) return it->second;
+  const ObjectId x = static_cast<ObjectId>(key_by_object_.size());
+  object_by_key_.emplace(key, x);
+  key_by_object_.push_back(key);
+  return x;
+}
+
+void EngineTraceRecorder::RecordPreload(const std::string& key,
+                                        Value value) {
+  const ObjectId x = ObjectFor(key);
+  std::lock_guard<std::mutex> lock(mutex_);
+  initial_values_[x] = value;
+}
+
+void EngineTraceRecorder::RecordAccessKind(const TransactionId& access_id,
+                                           ObjectId object, AccessKind kind,
+                                           OpDescriptor op) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  accesses_.emplace(access_id, AccessMeta{object, kind, op});
+}
+
+Schedule EngineTraceRecorder::Snapshot() const {
+  std::vector<std::pair<uint64_t, Event>> copy;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    copy = events_;
+  }
+  std::sort(copy.begin(), copy.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  Schedule out;
+  out.reserve(copy.size());
+  for (auto& [n, e] : copy) {
+    (void)n;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+Result<SystemType> EngineTraceRecorder::BuildSystemType() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Collect every transaction id that appears, plus all its ancestors.
+  std::set<TransactionId> ids;
+  for (const auto& [n, e] : events_) {
+    (void)n;
+    if (e.txn.IsRoot()) continue;
+    for (const TransactionId& a : e.txn.AncestorsToRoot()) {
+      if (!a.IsRoot()) ids.insert(a);
+    }
+  }
+  // std::set orders ids lexicographically = parents before children and
+  // child indices ascending, which is exactly the order the builder's
+  // sequential index assignment needs to reproduce the same ids.
+  SystemTypeBuilder b;
+  for (size_t x = 0; x < key_by_object_.size(); ++x) {
+    auto iv = initial_values_.find(static_cast<ObjectId>(x));
+    b.AddObject(key_by_object_[x], "cell",
+                iv == initial_values_.end() ? kAbsentValue : iv->second);
+  }
+  for (const TransactionId& id : ids) {
+    const TransactionId parent = id.Parent();
+    const uint32_t index = id.path().back();
+    auto acc = accesses_.find(id);
+    // Explicit indices: child slots consumed by operations that never ran
+    // (failed lock acquisitions) leave gaps, which the builder skips.
+    if (acc != accesses_.end()) {
+      b.AddAccessAt(parent, index, acc->second.object, acc->second.kind,
+                    acc->second.op);
+    } else {
+      b.AddInternalAt(parent, index);
+    }
+  }
+  SystemType st = b.Build();
+  RETURN_IF_ERROR(st.Validate());
+  return st;
+}
+
+}  // namespace nestedtx

@@ -1,0 +1,334 @@
+#include "core/transaction.h"
+
+#include "serial/data_type.h"
+#include "util/strings.h"
+
+namespace nestedtx {
+
+const char* CcModeName(CcMode mode) {
+  switch (mode) {
+    case CcMode::kMossRW:
+      return "moss-rw";
+    case CcMode::kExclusive:
+      return "exclusive";
+    case CcMode::kFlat2PL:
+      return "flat-2pl";
+    case CcMode::kSerial:
+      return "serial";
+  }
+  return "?";
+}
+
+Transaction::Transaction(TransactionManager* manager, Transaction* parent,
+                         TransactionId id)
+    : manager_(manager), parent_(parent), id_(std::move(id)) {
+  manager_->stats().txns_begun.fetch_add(1);
+}
+
+Transaction::~Transaction() {
+  if (!returned_.load()) {
+    Abort();  // RAII: dropping an open transaction aborts it
+  }
+}
+
+Transaction* Transaction::TopLevel() {
+  Transaction* t = this;
+  while (t->parent_ != nullptr) t = t->parent_;
+  return t;
+}
+
+bool Transaction::doomed() const {
+  if (doomed_.load()) return true;
+  // Under flat 2PL a doomed top dooms the whole tree.
+  const Transaction* t = parent_;
+  while (t != nullptr) {
+    if (t->doomed_.load()) return true;
+    t = t->parent_;
+  }
+  return false;
+}
+
+const TransactionId& Transaction::LockOwner() const {
+  if (manager_->options().cc_mode != CcMode::kFlat2PL) return id_;
+  const Transaction* t = this;
+  while (t->parent_ != nullptr) t = t->parent_;
+  return t->id_;
+}
+
+Status Transaction::CheckActive() const {
+  if (returned_.load()) {
+    return Status::FailedPrecondition(
+        StrCat(id_, " has already returned"));
+  }
+  if (doomed()) {
+    return Status::Aborted(
+        StrCat(id_, " is doomed (flat-mode subtransaction abort)"));
+  }
+  return Status::OK();
+}
+
+const AccessTraceInfo* Transaction::PrepareAccess(const std::string& key,
+                                                  uint32_t op_code,
+                                                  Value op_arg,
+                                                  AccessTraceInfo* info) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  keys_.insert(key);
+  if (manager_->locks().trace_recorder() == nullptr) return nullptr;
+  // Accesses are children of this transaction in the model; they share
+  // the child-index space with subtransactions.
+  info->access_id = id_.Child(child_counter_++);
+  info->op_code = op_code;
+  info->op_arg = op_arg;
+  return info;
+}
+
+void Transaction::AddToAggregate(Value v) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  aggregate_ = static_cast<Value>(static_cast<uint64_t>(aggregate_) +
+                                  static_cast<uint64_t>(v));
+}
+
+Result<std::optional<int64_t>> Transaction::TryGet(const std::string& key) {
+  RETURN_IF_ERROR(CheckActive());
+  const bool exclusive_reads =
+      manager_->options().cc_mode == CcMode::kExclusive;
+  AccessTraceInfo info;
+  const AccessTraceInfo* trace =
+      PrepareAccess(key, ops::kRead, 0, &info);
+  Result<std::optional<int64_t>> r =
+      exclusive_reads
+          // Exclusive locking: reads take write locks; the version copy
+          // is the model's write-access behaviour.
+          ? manager_->locks().AcquireWrite(
+                LockOwner(), key,
+                [](std::optional<int64_t> v) { return v; }, trace)
+          : manager_->locks().AcquireRead(LockOwner(), key, trace);
+  if (r.ok() && trace != nullptr) {
+    AddToAggregate(r->value_or(kAbsentValue));
+  }
+  return r;
+}
+
+Result<std::optional<int64_t>> Transaction::GetForUpdate(
+    const std::string& key) {
+  RETURN_IF_ERROR(CheckActive());
+  AccessTraceInfo info;
+  const AccessTraceInfo* trace =
+      PrepareAccess(key, ops::kRead, 0, &info);
+  if (trace != nullptr) {
+    // In the model this is a write access running a read-only operation.
+    info.op_code = ops::kRead;
+  }
+  // A write lock with an identity mutator: the version copy is what the
+  // model's write access does, and it makes the read abort-safe.
+  Result<std::optional<int64_t>> r = manager_->locks().AcquireWrite(
+      LockOwner(), key, [](std::optional<int64_t> v) { return v; }, trace);
+  if (r.ok() && trace != nullptr) {
+    AddToAggregate(r->value_or(kAbsentValue));
+  }
+  return r;
+}
+
+Result<int64_t> Transaction::Get(const std::string& key) {
+  Result<std::optional<int64_t>> r = TryGet(key);
+  if (!r.ok()) return r.status();
+  if (!r->has_value()) {
+    return Status::NotFound(StrCat("key '", key, "' not found"));
+  }
+  return **r;
+}
+
+Status Transaction::Put(const std::string& key, int64_t value) {
+  RETURN_IF_ERROR(CheckActive());
+  AccessTraceInfo info;
+  const AccessTraceInfo* trace =
+      PrepareAccess(key, ops::kWrite, value, &info);
+  Result<std::optional<int64_t>> r = manager_->locks().AcquireWrite(
+      LockOwner(), key, [value](std::optional<int64_t>) { return value; },
+      trace);
+  if (r.ok() && trace != nullptr) AddToAggregate(value);
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Result<int64_t> Transaction::Add(const std::string& key, int64_t delta) {
+  RETURN_IF_ERROR(CheckActive());
+  AccessTraceInfo info;
+  const AccessTraceInfo* trace =
+      PrepareAccess(key, ops::kCellAdd, delta, &info);
+  Result<std::optional<int64_t>> r = manager_->locks().AcquireWrite(
+      LockOwner(), key,
+      [delta](std::optional<int64_t> v) { return v.value_or(0) + delta; },
+      trace);
+  if (!r.ok()) return r.status();
+  if (trace != nullptr) AddToAggregate(**r);
+  return **r;
+}
+
+Status Transaction::Delete(const std::string& key) {
+  RETURN_IF_ERROR(CheckActive());
+  AccessTraceInfo info;
+  const AccessTraceInfo* trace =
+      PrepareAccess(key, ops::kCellDelete, 0, &info);
+  Result<std::optional<int64_t>> r = manager_->locks().AcquireWrite(
+      LockOwner(), key, [](std::optional<int64_t>) { return std::nullopt; },
+      trace);
+  if (r.ok() && trace != nullptr) AddToAggregate(kAbsentValue);
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Result<std::unique_ptr<Transaction>> Transaction::BeginChild() {
+  RETURN_IF_ERROR(CheckActive());
+  TransactionId child_id;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    child_id = id_.Child(child_counter_++);
+  }
+  active_children_.fetch_add(1);
+  if (EngineTraceRecorder* rec = manager_->locks().trace_recorder()) {
+    rec->Emit(Event::RequestCreate(child_id));
+    rec->Emit(Event::Create(child_id));
+  }
+  return std::unique_ptr<Transaction>(
+      new Transaction(manager_, this, std::move(child_id)));
+}
+
+void Transaction::MergeKeysIntoParent() {
+  std::set<std::string> keys;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    keys.swap(keys_);
+  }
+  std::lock_guard<std::mutex> lock(parent_->mutex_);
+  parent_->keys_.insert(keys.begin(), keys.end());
+}
+
+Status Transaction::Commit() {
+  if (active_children_.load() != 0) {
+    return Status::FailedPrecondition(
+        StrCat(id_, " cannot commit with active children"));
+  }
+  RETURN_IF_ERROR(CheckActive());
+  if (returned_.exchange(true)) {
+    return Status::FailedPrecondition(StrCat(id_, " already returned"));
+  }
+
+  const CcMode mode = manager_->options().cc_mode;
+  EngineTraceRecorder* rec = manager_->locks().trace_recorder();
+  Value my_aggregate = 0;
+  if (rec != nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    my_aggregate = aggregate_;
+  }
+  if (rec != nullptr) {
+    rec->Emit(Event::RequestCommit(id_, my_aggregate));
+    rec->Emit(Event::Commit(id_));
+  }
+  if (parent_ == nullptr) {
+    // Top-level commit: everything becomes the committed base.
+    std::set<std::string> keys;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      keys.swap(keys_);
+    }
+    manager_->locks().OnCommit(id_, TransactionId::Root(), keys);
+    if (rec != nullptr) rec->Emit(Event::ReportCommit(id_, my_aggregate));
+    manager_->stats().txns_committed.fetch_add(1);
+    manager_->stats().top_level_committed.fetch_add(1);
+    if (mode == CcMode::kSerial) manager_->ReleaseSerialGate();
+    return Status::OK();
+  }
+
+  // Subtransaction commit.
+  if (mode == CcMode::kFlat2PL) {
+    // Locks already belong to the top-level id; just hand the key
+    // inventory up so the top-level release sees everything.
+    MergeKeysIntoParent();
+  } else {
+    std::set<std::string> keys;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      keys = keys_;
+    }
+    manager_->locks().OnCommit(id_, parent_->id_, keys);
+    MergeKeysIntoParent();
+  }
+  if (rec != nullptr) {
+    rec->Emit(Event::ReportCommit(id_, my_aggregate));
+    parent_->AddToAggregate(my_aggregate);
+  }
+  manager_->stats().txns_committed.fetch_add(1);
+  parent_->active_children_.fetch_sub(1);
+  return Status::OK();
+}
+
+Status Transaction::Abort() {
+  if (active_children_.load() != 0) {
+    return Status::FailedPrecondition(
+        StrCat(id_, " cannot abort with active children"));
+  }
+  if (returned_.exchange(true)) {
+    return Status::FailedPrecondition(StrCat(id_, " already returned"));
+  }
+
+  const CcMode mode = manager_->options().cc_mode;
+  EngineTraceRecorder* rec = manager_->locks().trace_recorder();
+  if (rec != nullptr) rec->Emit(Event::Abort(id_));
+  std::set<std::string> keys;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    keys.swap(keys_);
+  }
+  if (mode == CcMode::kFlat2PL && parent_ != nullptr) {
+    // No savepoints: a subtransaction abort cannot be undone in place, so
+    // the whole top-level transaction is doomed. Its keys stay with the
+    // top-level owner and are rolled back when the top aborts.
+    TopLevel()->doomed_.store(true);
+    std::lock_guard<std::mutex> lock(parent_->mutex_);
+    parent_->keys_.insert(keys.begin(), keys.end());
+  } else {
+    manager_->locks().OnAbort(LockOwner(), keys);
+  }
+  if (rec != nullptr) rec->Emit(Event::ReportAbort(id_));
+  manager_->stats().txns_aborted.fetch_add(1);
+  if (parent_ == nullptr) {
+    manager_->stats().top_level_aborted.fetch_add(1);
+    if (mode == CcMode::kSerial) manager_->ReleaseSerialGate();
+  } else {
+    parent_->active_children_.fetch_sub(1);
+  }
+  return Status::OK();
+}
+
+TransactionManager::TransactionManager(const EngineOptions& options)
+    : options_(options), locks_(options, &stats_) {}
+
+void TransactionManager::AcquireSerialGate() {
+  std::unique_lock<std::mutex> lk(gate_mutex_);
+  gate_cv_.wait(lk, [&] { return !gate_busy_; });
+  gate_busy_ = true;
+}
+
+void TransactionManager::ReleaseSerialGate() {
+  {
+    std::lock_guard<std::mutex> lk(gate_mutex_);
+    gate_busy_ = false;
+  }
+  gate_cv_.notify_one();
+}
+
+std::unique_ptr<Transaction> TransactionManager::Begin() {
+  if (options_.cc_mode == CcMode::kSerial) AcquireSerialGate();
+  TransactionId id;
+  {
+    std::lock_guard<std::mutex> lock(top_mutex_);
+    id = TransactionId::Root().Child(top_counter_++);
+  }
+  if (EngineTraceRecorder* rec = locks_.trace_recorder()) {
+    rec->Emit(Event::RequestCreate(id));
+    rec->Emit(Event::Create(id));
+  }
+  return std::unique_ptr<Transaction>(
+      new Transaction(this, nullptr, std::move(id)));
+}
+
+}  // namespace nestedtx

@@ -1,0 +1,158 @@
+// Nested transaction handles and the transaction manager.
+//
+// Usage:
+//   Database db(options);
+//   auto t = db.Begin();                  // top-level
+//   auto c = t->BeginChild();             // subtransaction (own thread OK)
+//   c->Put("k", 1);
+//   c->Commit();                          // locks/versions pass to t
+//   t->Commit();                          // installs into the store
+//
+// Structural rules (enforced): a transaction returns (commits or aborts)
+// exactly once, only after all of its children have returned; operations
+// on a returned or doomed transaction fail. A handle destroyed without
+// returning aborts automatically (RAII).
+//
+// Concurrency-control behaviour per CcMode is documented in options.h.
+#ifndef NESTEDTX_CORE_TRANSACTION_H_
+#define NESTEDTX_CORE_TRANSACTION_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "core/lock_manager.h"
+#include "core/options.h"
+#include "core/stats.h"
+#include "tx/transaction_id.h"
+#include "util/status.h"
+
+namespace nestedtx {
+
+class TransactionManager;
+
+class Transaction {
+ public:
+  ~Transaction();
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  /// Read `key`; NotFound if absent. Takes a read lock (kMossRW) or a
+  /// write lock (kExclusive).
+  Result<int64_t> Get(const std::string& key);
+
+  /// Read `key`, nullopt if absent (same locking as Get).
+  Result<std::optional<int64_t>> TryGet(const std::string& key);
+
+  /// Read `key` under a WRITE lock (nullopt if absent). Use when the
+  /// transaction will write the key later: taking the exclusive lock up
+  /// front avoids the classic read-lock-upgrade deadlock, where two
+  /// transactions both read-share a key and then both block trying to
+  /// write it.
+  Result<std::optional<int64_t>> GetForUpdate(const std::string& key);
+
+  /// Write `key := value` under a write lock.
+  Status Put(const std::string& key, int64_t value);
+
+  /// Atomic read-modify-write: `key := (key or 0) + delta`; returns the
+  /// new value. Write lock.
+  Result<int64_t> Add(const std::string& key, int64_t delta);
+
+  /// Delete `key` under a write lock (absent is fine).
+  Status Delete(const std::string& key);
+
+  /// Start a subtransaction. The child may run on any thread; multiple
+  /// children may run concurrently (that is the point of nesting).
+  Result<std::unique_ptr<Transaction>> BeginChild();
+
+  /// Commit: locks and versions pass to the parent (or, for a top-level
+  /// transaction, into the committed store). Fails while children are
+  /// active or after the transaction returned.
+  Status Commit();
+
+  /// Abort: this subtree's effects are discarded. Under kFlat2PL a child
+  /// abort also dooms the whole top-level transaction (no savepoints).
+  Status Abort();
+
+  const TransactionId& id() const { return id_; }
+  bool returned() const { return returned_.load(); }
+  /// True if a flat-mode subtransaction abort doomed this transaction
+  /// tree; all further operations fail and only Abort() is permitted.
+  bool doomed() const;
+
+ private:
+  friend class TransactionManager;
+
+  Transaction(TransactionManager* manager, Transaction* parent,
+              TransactionId id);
+
+  /// The transaction id locks are taken under (self, or the top-level
+  /// ancestor in kFlat2PL).
+  const TransactionId& LockOwner() const;
+
+  Status CheckActive() const;
+  void MergeKeysIntoParent();
+  Transaction* TopLevel();
+
+  /// When tracing: allocate an access child id and fill `info`; returns
+  /// the info pointer to pass to the lock manager (nullptr when not
+  /// tracing). Also registers `key` in keys_.
+  const AccessTraceInfo* PrepareAccess(const std::string& key,
+                                       uint32_t op_code, Value op_arg,
+                                       AccessTraceInfo* info);
+  /// When tracing: fold a child report value into this transaction's
+  /// aggregate (unsigned wraparound, mirroring ScriptedTransaction).
+  void AddToAggregate(Value v);
+
+  TransactionManager* manager_;
+  Transaction* parent_;  // nullptr for top-level
+  TransactionId id_;
+
+  std::mutex mutex_;                  // guards keys_ and child_counter_
+  std::set<std::string> keys_;        // keys this txn may hold entries on
+  uint32_t child_counter_ = 0;
+  std::atomic<int> active_children_{0};
+  std::atomic<bool> returned_{false};
+  std::atomic<bool> doomed_{false};   // kFlat2PL subtree failure
+  Value aggregate_ = 0;               // guarded by mutex_; tracing only
+};
+
+/// Owns the lock manager and global policies; creates top-level
+/// transactions. Thread-safe.
+class TransactionManager {
+ public:
+  explicit TransactionManager(const EngineOptions& options);
+
+  /// Begin a top-level transaction. Under kSerial this blocks until the
+  /// engine-wide gate is free.
+  std::unique_ptr<Transaction> Begin();
+
+  const EngineOptions& options() const { return options_; }
+  EngineStats& stats() { return stats_; }
+  LockManager& locks() { return locks_; }
+
+ private:
+  friend class Transaction;
+
+  // kSerial gate (semaphore semantics: release may happen on a different
+  // thread than acquire, so a plain mutex would be UB).
+  void AcquireSerialGate();
+  void ReleaseSerialGate();
+
+  EngineOptions options_;
+  EngineStats stats_;
+  LockManager locks_;
+
+  std::mutex top_mutex_;
+  uint32_t top_counter_ = 0;
+
+  std::mutex gate_mutex_;
+  std::condition_variable gate_cv_;
+  bool gate_busy_ = false;
+};
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_CORE_TRANSACTION_H_

@@ -1,0 +1,62 @@
+#include "core/wait_graph.h"
+
+#include "util/strings.h"
+
+namespace nestedtx {
+
+namespace {
+bool Related(const TransactionId& a, const TransactionId& b) {
+  return a.IsAncestorOf(b) || b.IsAncestorOf(a);
+}
+}  // namespace
+
+bool WaitGraph::Reaches(const TransactionId& from,
+                        const TransactionId& target,
+                        std::set<TransactionId>& seen) const {
+  if (Related(from, target)) return true;
+  if (!seen.insert(from).second) return false;
+  // A node n is blocked by the waits of any transaction related to it:
+  // its own wait, a live descendant's wait (the parent cannot return until
+  // the child does), or an ancestor's wait (the ancestor's lock moves only
+  // when the ancestor progresses). This is deliberately conservative —
+  // a false cycle costs one subtree retry; a missed cycle costs a hang.
+  for (const auto& [src, dsts] : edges_) {
+    if (!Related(src, from)) continue;
+    for (const TransactionId& dst : dsts) {
+      if (Reaches(dst, target, seen)) return true;
+    }
+  }
+  return false;
+}
+
+Status WaitGraph::AddWait(const TransactionId& waiter,
+                          const std::vector<TransactionId>& holders) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::set<TransactionId> useful;
+  for (const TransactionId& h : holders) {
+    if (!Related(h, waiter)) useful.insert(h);
+  }
+  if (useful.empty()) return Status::OK();
+  // Would any holder's blocked-set reach back to the waiter?
+  for (const TransactionId& h : useful) {
+    std::set<TransactionId> seen;
+    if (Reaches(h, waiter, seen)) {
+      return Status::Deadlock(
+          StrCat("wait by ", waiter, " on ", h, " closes a cycle"));
+    }
+  }
+  edges_[waiter] = std::move(useful);
+  return Status::OK();
+}
+
+void WaitGraph::RemoveWait(const TransactionId& waiter) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  edges_.erase(waiter);
+}
+
+size_t WaitGraph::NumWaiters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return edges_.size();
+}
+
+}  // namespace nestedtx

@@ -1,0 +1,81 @@
+#include "explore/enumerator.h"
+
+#include "automata/executor.h"
+#include "util/strings.h"
+
+namespace nestedtx {
+
+namespace {
+
+struct DfsContext {
+  const SystemFactory* factory;
+  const ScheduleVisitor* visitor;
+  const EnumeratorOptions* options;
+  EnumeratorStats stats;
+};
+
+// Explores the subtree rooted at `prefix`. `system` is a live system
+// already positioned at `prefix` and is consumed (used for the first
+// branch; siblings re-replay from a fresh system).
+Status Dfs(DfsContext& ctx, Schedule& prefix,
+           std::unique_ptr<System> system) {
+  if (ctx.stats.schedules_visited >= ctx.options->max_schedules ||
+      ctx.stats.steps >= ctx.options->max_steps) {
+    ctx.stats.exhausted = false;
+    return Status::OK();
+  }
+
+  const std::vector<Event> enabled = system->EnabledOutputs();
+  const bool at_leaf =
+      enabled.empty() || prefix.size() >= ctx.options->max_depth;
+  if (!enabled.empty() && prefix.size() >= ctx.options->max_depth) {
+    ctx.stats.exhausted = false;  // truncated a live branch
+  }
+  if (at_leaf || !ctx.options->leaves_only) {
+    ++ctx.stats.schedules_visited;
+    ctx.stats.max_schedule_length =
+        std::max(ctx.stats.max_schedule_length, prefix.size());
+    RETURN_IF_ERROR((*ctx.visitor)(prefix));
+    if (at_leaf) return Status::OK();
+  }
+
+  for (size_t i = 0; i < enabled.size(); ++i) {
+    std::unique_ptr<System> child;
+    if (i == 0) {
+      child = std::move(system);  // reuse the live system for one branch
+    } else {
+      child = (*ctx.factory)();
+      Status replayed = Replay(*child, prefix);
+      if (!replayed.ok()) {
+        return Status::Internal(
+            StrCat("replay diverged at prefix length ", prefix.size(), ": ",
+                   replayed.ToString()));
+      }
+      ctx.stats.steps += prefix.size();
+    }
+    RETURN_IF_ERROR(child->Apply(enabled[i]));
+    ++ctx.stats.steps;
+    prefix.push_back(enabled[i]);
+    RETURN_IF_ERROR(Dfs(ctx, prefix, std::move(child)));
+    prefix.pop_back();
+    if (ctx.stats.schedules_visited >= ctx.options->max_schedules ||
+        ctx.stats.steps >= ctx.options->max_steps) {
+      ctx.stats.exhausted = false;
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<EnumeratorStats> EnumerateSchedules(const SystemFactory& factory,
+                                           const ScheduleVisitor& visitor,
+                                           const EnumeratorOptions& options) {
+  DfsContext ctx{&factory, &visitor, &options, {}};
+  Schedule prefix;
+  RETURN_IF_ERROR(Dfs(ctx, prefix, factory()));
+  return ctx.stats;
+}
+
+}  // namespace nestedtx

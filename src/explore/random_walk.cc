@@ -1,0 +1,29 @@
+#include "explore/random_walk.h"
+
+namespace nestedtx {
+
+Result<Schedule> RandomLockingRun(const SystemType& st, uint64_t seed,
+                                  const LockingSystemOptions& sys_options,
+                                  const ExecutorOptions& exec_options) {
+  auto system = MakeLockingSystem(st, sys_options);
+  if (!system.ok()) return system.status();
+  ExecutorOptions exec = exec_options;
+  exec.seed = seed;
+  auto run = RunToQuiescence(**system, exec);
+  if (!run.ok()) return run.status();
+  return (*system)->schedule();
+}
+
+Result<Schedule> RandomSerialRun(const SystemType& st, uint64_t seed,
+                                 const SerialSystemOptions& sys_options,
+                                 const ExecutorOptions& exec_options) {
+  auto system = MakeSerialSystem(st, sys_options);
+  if (!system.ok()) return system.status();
+  ExecutorOptions exec = exec_options;
+  exec.seed = seed;
+  auto run = RunToQuiescence(**system, exec);
+  if (!run.ok()) return run.status();
+  return (*system)->schedule();
+}
+
+}  // namespace nestedtx

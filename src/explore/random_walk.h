@@ -1,0 +1,27 @@
+// One-call helpers: build a system, run it to quiescence under a seeded
+// random policy, return the schedule.
+#ifndef NESTEDTX_EXPLORE_RANDOM_WALK_H_
+#define NESTEDTX_EXPLORE_RANDOM_WALK_H_
+
+#include "automata/executor.h"
+#include "locking/locking_system.h"
+#include "serial/serial_system.h"
+#include "tx/event.h"
+#include "tx/system_type.h"
+#include "util/status.h"
+
+namespace nestedtx {
+
+/// Run the R/W Locking system of `st` to quiescence; returns its schedule.
+Result<Schedule> RandomLockingRun(const SystemType& st, uint64_t seed,
+                                  const LockingSystemOptions& sys_options = {},
+                                  const ExecutorOptions& exec_options = {});
+
+/// Run the serial system of `st` to quiescence; returns its schedule.
+Result<Schedule> RandomSerialRun(const SystemType& st, uint64_t seed,
+                                 const SerialSystemOptions& sys_options = {},
+                                 const ExecutorOptions& exec_options = {});
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_EXPLORE_RANDOM_WALK_H_

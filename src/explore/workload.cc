@@ -1,0 +1,78 @@
+#include "explore/workload.h"
+
+#include "serial/data_type.h"
+#include "util/strings.h"
+
+namespace nestedtx {
+
+namespace {
+
+// Writes use op code 1 (kWrite / kAdd / kDeposit depending on type);
+// reads use op code 0. Both exist in every built-in data type.
+OpDescriptor RandomOp(Rng& rng, bool is_read) {
+  OpDescriptor op;
+  op.code = is_read ? 0 : 1;
+  op.arg = rng.UniformRange(1, 9);
+  return op;
+}
+
+void GrowSubtree(SystemTypeBuilder& b, const TransactionId& node,
+                 size_t depth_left, const WorkloadParams& p, Rng& rng) {
+  const size_t n_children = 1 + rng.Uniform(p.max_children);
+  for (size_t i = 0; i < n_children; ++i) {
+    const bool make_access =
+        depth_left == 0 || rng.Bernoulli(p.access_probability);
+    if (make_access) {
+      const bool is_read = rng.Bernoulli(p.read_ratio);
+      const ObjectId x =
+          static_cast<ObjectId>(rng.Uniform(p.num_objects));
+      b.AddAccess(node, x, is_read ? AccessKind::kRead : AccessKind::kWrite,
+                  RandomOp(rng, is_read));
+    } else {
+      const TransactionId child = b.AddInternal(node);
+      GrowSubtree(b, child, depth_left - 1, p, rng);
+    }
+  }
+}
+
+}  // namespace
+
+SystemType MakeRandomSystemType(const WorkloadParams& params, uint64_t seed) {
+  Rng rng(seed);
+  SystemTypeBuilder b;
+  for (size_t i = 0; i < params.num_objects; ++i) {
+    b.AddObject(StrCat("obj", i), params.data_type, /*initial_value=*/0);
+  }
+  for (size_t i = 0; i < params.num_top_level; ++i) {
+    const TransactionId top = b.AddInternal(TransactionId::Root());
+    GrowSubtree(b, top, params.max_extra_depth, params, rng);
+  }
+  return b.Build();
+}
+
+SystemType MakeCanonicalSystemType() {
+  SystemTypeBuilder b;
+  const ObjectId x0 = b.AddObject("x0", "counter", 0);
+  const ObjectId x1 = b.AddObject("x1", "register", 100);
+
+  // T0.0: read X0 then add 5 to X0.
+  const TransactionId t1 = b.AddInternal(TransactionId::Root());
+  b.AddAccess(t1, x0, AccessKind::kRead, {ops::kRead, 0});
+  b.AddAccess(t1, x0, AccessKind::kWrite, {ops::kAdd, 5});
+
+  // T0.1: nested — a subtransaction writing X1, then a read of X0.
+  const TransactionId t2 = b.AddInternal(TransactionId::Root());
+  const TransactionId t2a = b.AddInternal(t2);
+  b.AddAccess(t2a, x1, AccessKind::kWrite, {ops::kWrite, 7});
+  b.AddAccess(t2a, x1, AccessKind::kRead, {ops::kRead, 0});
+  b.AddAccess(t2, x0, AccessKind::kRead, {ops::kRead, 0});
+
+  // T0.2: read-only on both objects.
+  const TransactionId t3 = b.AddInternal(TransactionId::Root());
+  b.AddAccess(t3, x0, AccessKind::kRead, {ops::kRead, 0});
+  b.AddAccess(t3, x1, AccessKind::kRead, {ops::kRead, 0});
+
+  return b.Build();
+}
+
+}  // namespace nestedtx

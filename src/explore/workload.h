@@ -1,0 +1,41 @@
+// Randomized system-type generation for property tests and model benches:
+// trees of configurable depth/fanout over a configurable number of
+// objects, with a tunable read ratio.
+#ifndef NESTEDTX_EXPLORE_WORKLOAD_H_
+#define NESTEDTX_EXPLORE_WORKLOAD_H_
+
+#include "tx/system_type.h"
+#include "util/random.h"
+
+namespace nestedtx {
+
+struct WorkloadParams {
+  size_t num_objects = 2;
+  size_t num_top_level = 3;
+  /// Maximum depth of internal nesting below top level (0 = flat
+  /// transactions whose children are accesses).
+  size_t max_extra_depth = 2;
+  /// Children per internal node are drawn uniformly from [1, max_children].
+  size_t max_children = 3;
+  /// Probability an internal node's child is an access (vs. a subtxn);
+  /// forced to 1 at max depth.
+  double access_probability = 0.6;
+  /// Probability an access is a read.
+  double read_ratio = 0.5;
+  /// Data type for every object.
+  std::string data_type = "counter";
+};
+
+/// Generate a random system type. Deterministic in (params, seed).
+SystemType MakeRandomSystemType(const WorkloadParams& params, uint64_t seed);
+
+/// A small fixed system type used throughout tests and examples:
+/// two objects (counter X0, register X1), three top-level transactions —
+/// one with two access children (read X0, add X0), one nested two deep
+/// touching both objects, one read-only. Shapes of this type exercise
+/// every §5.1 rule.
+SystemType MakeCanonicalSystemType();
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_EXPLORE_WORKLOAD_H_

@@ -1,0 +1,169 @@
+#include "locking/generic_scheduler.h"
+
+#include "util/strings.h"
+
+namespace nestedtx {
+
+GenericScheduler::GenericScheduler(const SystemType* st,
+                                   GenericSchedulerOptions options)
+    : st_(st), options_(options) {
+  create_requested_.insert(TransactionId::Root());
+}
+
+bool GenericScheduler::IsOperation(const Event& e) const {
+  switch (e.kind) {
+    case EventKind::kRequestCreate:
+    case EventKind::kRequestCommit:
+    case EventKind::kCreate:
+    case EventKind::kCommit:
+    case EventKind::kAbort:
+    case EventKind::kReportCommit:
+    case EventKind::kReportAbort:
+    case EventKind::kInformCommitAt:
+    case EventKind::kInformAbortAt:
+      return true;
+  }
+  return false;
+}
+
+bool GenericScheduler::IsOutput(const Event& e) const {
+  switch (e.kind) {
+    case EventKind::kCreate:
+    case EventKind::kCommit:
+    case EventKind::kAbort:
+    case EventKind::kReportCommit:
+    case EventKind::kReportAbort:
+    case EventKind::kInformCommitAt:
+    case EventKind::kInformAbortAt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool GenericScheduler::IsOrphan(const TransactionId& t) const {
+  for (const TransactionId& a : aborted_) {
+    if (a.IsAncestorOf(t)) return true;
+  }
+  return false;
+}
+
+bool GenericScheduler::ChildrenReturned(const TransactionId& t) const {
+  for (const TransactionId& child : st_->Children(t)) {
+    if (create_requested_.count(child) && !returned_.count(child)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Event> GenericScheduler::EnabledOutputs() const {
+  std::vector<Event> out;
+  const bool eliminate = options_.eliminate_orphans;
+  for (const TransactionId& t : create_requested_) {
+    // CREATE(T): T ∈ create_requested - created.
+    if (!created_.count(t) && !(eliminate && IsOrphan(t))) {
+      out.push_back(Event::Create(t));
+    }
+    // ABORT(T), T != T0: T ∈ create_requested - returned.
+    if (options_.allow_spontaneous_aborts && !t.IsRoot() &&
+        !returned_.count(t)) {
+      out.push_back(Event::Abort(t));
+    }
+  }
+  for (const auto& [t, v] : commit_requested_) {
+    if (!t.IsRoot() && !returned_.count(t) && ChildrenReturned(t)) {
+      out.push_back(Event::Commit(t));
+    }
+  }
+  for (const TransactionId& t : committed_) {
+    if (!t.IsRoot() && !reported_.count(t) &&
+        !(eliminate && IsOrphan(t.Parent()))) {
+      out.push_back(Event::ReportCommit(t, commit_requested_.at(t)));
+    }
+  }
+  for (const TransactionId& t : aborted_) {
+    if (!t.IsRoot() && !reported_.count(t) &&
+        !(eliminate && IsOrphan(t.Parent()))) {
+      out.push_back(Event::ReportAbort(t));
+    }
+  }
+  for (ObjectId x = 0; x < st_->NumObjects(); ++x) {
+    for (const TransactionId& t : committed_) {
+      if (!t.IsRoot() && !informed_.count({x, t})) {
+        out.push_back(Event::InformCommitAt(x, t));
+      }
+    }
+    for (const TransactionId& t : aborted_) {
+      if (!t.IsRoot() && !informed_.count({x, t})) {
+        out.push_back(Event::InformAbortAt(x, t));
+      }
+    }
+  }
+  return out;
+}
+
+Status GenericScheduler::Apply(const Event& e) {
+  switch (e.kind) {
+    case EventKind::kRequestCreate:
+      create_requested_.insert(e.txn);
+      return Status::OK();
+    case EventKind::kRequestCommit:
+      commit_requested_.emplace(e.txn, e.value);
+      return Status::OK();
+    case EventKind::kCreate:
+      if (!create_requested_.count(e.txn) || created_.count(e.txn)) {
+        return Status::FailedPrecondition(StrCat(e, " not enabled"));
+      }
+      created_.insert(e.txn);
+      return Status::OK();
+    case EventKind::kCommit: {
+      auto it = commit_requested_.find(e.txn);
+      if (e.txn.IsRoot() || it == commit_requested_.end() ||
+          returned_.count(e.txn) || !ChildrenReturned(e.txn)) {
+        return Status::FailedPrecondition(StrCat(e, " not enabled"));
+      }
+      committed_.insert(e.txn);
+      returned_.insert(e.txn);
+      return Status::OK();
+    }
+    case EventKind::kAbort:
+      if (e.txn.IsRoot() || !create_requested_.count(e.txn) ||
+          returned_.count(e.txn)) {
+        return Status::FailedPrecondition(StrCat(e, " not enabled"));
+      }
+      aborted_.insert(e.txn);
+      returned_.insert(e.txn);
+      return Status::OK();
+    case EventKind::kReportCommit: {
+      auto it = commit_requested_.find(e.txn);
+      if (e.txn.IsRoot() || !committed_.count(e.txn) ||
+          it == commit_requested_.end() || it->second != e.value) {
+        return Status::FailedPrecondition(StrCat(e, " not enabled"));
+      }
+      reported_.insert(e.txn);
+      return Status::OK();
+    }
+    case EventKind::kReportAbort:
+      if (e.txn.IsRoot() || !aborted_.count(e.txn)) {
+        return Status::FailedPrecondition(StrCat(e, " not enabled"));
+      }
+      reported_.insert(e.txn);
+      return Status::OK();
+    case EventKind::kInformCommitAt:
+      if (e.txn.IsRoot() || !committed_.count(e.txn)) {
+        return Status::FailedPrecondition(StrCat(e, " not enabled"));
+      }
+      informed_.insert({e.object, e.txn});
+      return Status::OK();
+    case EventKind::kInformAbortAt:
+      if (e.txn.IsRoot() || !aborted_.count(e.txn)) {
+        return Status::FailedPrecondition(StrCat(e, " not enabled"));
+      }
+      informed_.insert({e.object, e.txn});
+      return Status::OK();
+  }
+  return Status::InvalidArgument(StrCat(e, " unexpected"));
+}
+
+}  // namespace nestedtx

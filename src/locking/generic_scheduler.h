@@ -1,0 +1,69 @@
+// The generic scheduler (§5.2): passes requests/responses with arbitrary
+// delay, runs siblings concurrently, may unilaterally abort any requested
+// transaction that has not returned, and feeds commit/abort information to
+// the R/W Locking objects via INFORM events.
+//
+// Executability refinements (restrict nondeterminism only): each REPORT
+// and each INFORM_*(X)OF(T) is emitted at most once.
+#ifndef NESTEDTX_LOCKING_GENERIC_SCHEDULER_H_
+#define NESTEDTX_LOCKING_GENERIC_SCHEDULER_H_
+
+#include <map>
+#include <set>
+
+#include "automata/automaton.h"
+#include "tx/system_type.h"
+
+namespace nestedtx {
+
+struct GenericSchedulerOptions {
+  /// If false, the scheduler never exercises its unilateral-abort power
+  /// (aborts still considered for ABORT preconditions reachable via
+  /// REQUEST_CREATE-but-never-created transactions).
+  bool allow_spontaneous_aborts = true;
+
+  /// Scheduler-side orphan elimination (the direction of the paper's
+  /// companion work [HLMW], "On the Correctness of Orphan Elimination
+  /// Algorithms"): when true, the scheduler never delivers an input to an
+  /// orphan — it suppresses CREATE(T) when T has an aborted ancestor, and
+  /// suppresses REPORT events whose recipient (the parent) has one. An
+  /// orphan may still emit its own outputs (the scheduler cannot refuse
+  /// another automaton's outputs), but its view never grows after the
+  /// abort. This is a strict restriction of the paper's scheduler, so
+  /// Theorem 34 continues to hold.
+  bool eliminate_orphans = false;
+};
+
+class GenericScheduler : public Automaton {
+ public:
+  GenericScheduler(const SystemType* st, GenericSchedulerOptions options = {});
+
+  std::string name() const override { return "generic-scheduler"; }
+  bool IsOperation(const Event& e) const override;
+  bool IsOutput(const Event& e) const override;
+  std::vector<Event> EnabledOutputs() const override;
+  Status Apply(const Event& e) override;
+
+  const std::set<TransactionId>& committed() const { return committed_; }
+  const std::set<TransactionId>& aborted() const { return aborted_; }
+
+ private:
+  bool IsOrphan(const TransactionId& t) const;
+  bool ChildrenReturned(const TransactionId& t) const;
+
+  const SystemType* st_;
+  GenericSchedulerOptions options_;
+
+  std::set<TransactionId> create_requested_;  // init: {T0}
+  std::set<TransactionId> created_;
+  std::map<TransactionId, Value> commit_requested_;
+  std::set<TransactionId> committed_;
+  std::set<TransactionId> aborted_;
+  std::set<TransactionId> returned_;
+  std::set<TransactionId> reported_;                    // refinement
+  std::set<std::pair<ObjectId, TransactionId>> informed_;  // refinement
+};
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_LOCKING_GENERIC_SCHEDULER_H_

@@ -1,0 +1,33 @@
+#include "locking/locking_system.h"
+
+#include "locking/rw_lock_object.h"
+#include "serial/data_type.h"
+
+namespace nestedtx {
+
+Result<std::unique_ptr<System>> MakeLockingSystem(
+    const SystemType& st, const LockingSystemOptions& options) {
+  RETURN_IF_ERROR(st.Validate());
+  RETURN_IF_ERROR(ValidateAccessSemantics(st));
+
+  auto system = std::make_unique<System>();
+
+  ScriptOptions root_script = options.script;
+  root_script.never_commit = true;
+  system->Add(std::make_unique<ScriptedTransaction>(
+      &st, TransactionId::Root(), root_script));
+
+  for (const TransactionId& t : st.AllTransactions()) {
+    if (st.IsInternal(t)) {
+      system->Add(
+          std::make_unique<ScriptedTransaction>(&st, t, options.script));
+    }
+  }
+  for (ObjectId x = 0; x < st.NumObjects(); ++x) {
+    system->Add(std::make_unique<RwLockObject>(&st, x));
+  }
+  system->Add(std::make_unique<GenericScheduler>(&st, options.scheduler));
+  return system;
+}
+
+}  // namespace nestedtx

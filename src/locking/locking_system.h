@@ -1,0 +1,28 @@
+// R/W Locking system composition (§5.3): the same transaction automata as
+// the serial system, R/W Locking objects in place of basic objects, and
+// the generic scheduler in place of the serial scheduler.
+#ifndef NESTEDTX_LOCKING_LOCKING_SYSTEM_H_
+#define NESTEDTX_LOCKING_LOCKING_SYSTEM_H_
+
+#include <memory>
+
+#include "automata/system.h"
+#include "locking/generic_scheduler.h"
+#include "serial/transaction_automaton.h"
+#include "tx/system_type.h"
+#include "util/status.h"
+
+namespace nestedtx {
+
+struct LockingSystemOptions {
+  ScriptOptions script;
+  GenericSchedulerOptions scheduler;
+};
+
+/// Build the R/W Locking system for `st`. `st` must outlive the system.
+Result<std::unique_ptr<System>> MakeLockingSystem(
+    const SystemType& st, const LockingSystemOptions& options = {});
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_LOCKING_LOCKING_SYSTEM_H_

@@ -1,0 +1,179 @@
+#include "locking/rw_lock_object.h"
+
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace nestedtx {
+
+RwLockObject::RwLockObject(const SystemType* st, ObjectId x)
+    : st_(st),
+      x_(x),
+      data_type_(FindDataType(st->Object(x).data_type)),
+      checker_(st, x) {
+  assert(data_type_ != nullptr && "unknown data type");
+  write_lockholders_.insert(TransactionId::Root());
+  map_[TransactionId::Root()] = st->Object(x).initial_value;
+}
+
+std::string RwLockObject::name() const { return StrCat("M(X", x_, ")"); }
+
+bool RwLockObject::IsOperation(const Event& e) const {
+  return IsLockingObjectEvent(*st_, e, x_);
+}
+
+bool RwLockObject::IsOutput(const Event& e) const {
+  return e.kind == EventKind::kRequestCommit && IsOperation(e);
+}
+
+TransactionId RwLockObject::LeastWriteLockholder() const {
+  assert(!write_lockholders_.empty());
+  const TransactionId* least = nullptr;
+  for (const TransactionId& t : write_lockholders_) {
+    if (least == nullptr || t.Depth() > least->Depth()) least = &t;
+  }
+#ifndef NDEBUG
+  // Where LeastWriteLockholder is consulted, write lockholders must form
+  // an ancestor chain (Lemma 21); verify in debug builds.
+  for (const TransactionId& t : write_lockholders_) {
+    assert(t.IsAncestorOf(*least));
+  }
+#endif
+  return *least;
+}
+
+Value RwLockObject::CurrentState() const {
+  return map_.at(LeastWriteLockholder());
+}
+
+bool RwLockObject::AllHoldersAreAncestors(const TransactionId& t,
+                                          bool include_readers) const {
+  for (const TransactionId& holder : write_lockholders_) {
+    if (!holder.IsAncestorOf(t)) return false;
+  }
+  if (include_readers) {
+    for (const TransactionId& holder : read_lockholders_) {
+      if (!holder.IsAncestorOf(t)) return false;
+    }
+  }
+  return true;
+}
+
+bool RwLockObject::LockholdersFormChains() const {
+  // Lemma 21: a write lockholder is ancestrally related to every other
+  // lockholder (read or write).
+  for (const TransactionId& w : write_lockholders_) {
+    for (const TransactionId& other : write_lockholders_) {
+      if (!w.IsAncestorOf(other) && !other.IsAncestorOf(w)) return false;
+    }
+    for (const TransactionId& r : read_lockholders_) {
+      if (!w.IsAncestorOf(r) && !r.IsAncestorOf(w)) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Event> RwLockObject::EnabledOutputs() const {
+  std::vector<Event> out;
+  for (const TransactionId& t : create_requested_) {
+    if (run_.count(t)) continue;
+    const auto& info = st_->Access(t);
+    const bool is_write = info.kind == AccessKind::kWrite;
+    if (!AllHoldersAreAncestors(t, /*include_readers=*/is_write)) continue;
+    const Value base = map_.at(LeastWriteLockholder());
+    const auto [new_state, value] = data_type_->Apply(base, info.op);
+    (void)new_state;
+    out.push_back(Event::RequestCommit(t, value));
+  }
+  return out;
+}
+
+Status RwLockObject::Apply(const Event& e) {
+  if (!IsOperation(e)) {
+    return Status::InvalidArgument(
+        StrCat(name(), ": ", e, " is not my operation"));
+  }
+  switch (e.kind) {
+    case EventKind::kCreate:
+      RETURN_IF_ERROR(checker_.Feed(e));
+      create_requested_.insert(e.txn);
+      return Status::OK();
+
+    case EventKind::kInformCommitAt: {
+      RETURN_IF_ERROR(checker_.Feed(e));
+      const TransactionId t = e.txn;
+      const TransactionId parent = t.Parent();
+      if (write_lockholders_.count(t)) {
+        write_lockholders_.erase(t);
+        write_lockholders_.insert(parent);
+        // Version passes up (overwriting the parent's version if any —
+        // the child's includes it).
+        map_[parent] = map_.at(t);
+        map_.erase(t);
+      }
+      if (read_lockholders_.count(t)) {
+        read_lockholders_.erase(t);
+        read_lockholders_.insert(parent);
+      }
+      return Status::OK();
+    }
+
+    case EventKind::kInformAbortAt: {
+      RETURN_IF_ERROR(checker_.Feed(e));
+      const TransactionId t = e.txn;
+      for (auto it = write_lockholders_.begin();
+           it != write_lockholders_.end();) {
+        if (t.IsAncestorOf(*it)) {
+          map_.erase(*it);
+          it = write_lockholders_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      for (auto it = read_lockholders_.begin();
+           it != read_lockholders_.end();) {
+        if (t.IsAncestorOf(*it)) {
+          it = read_lockholders_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      return Status::OK();
+    }
+
+    case EventKind::kRequestCommit: {
+      const TransactionId t = e.txn;
+      if (!create_requested_.count(t) || run_.count(t)) {
+        return Status::FailedPrecondition(
+            StrCat(name(), ": ", e, " not requested or already run"));
+      }
+      const auto& info = st_->Access(t);
+      const bool is_write = info.kind == AccessKind::kWrite;
+      if (!AllHoldersAreAncestors(t, /*include_readers=*/is_write)) {
+        return Status::FailedPrecondition(
+            StrCat(name(), ": ", e, " blocked by a conflicting lock"));
+      }
+      const Value base = map_.at(LeastWriteLockholder());
+      const auto [new_state, value] = data_type_->Apply(base, info.op);
+      if (value != e.value) {
+        return Status::FailedPrecondition(
+            StrCat(name(), ": ", e, " value mismatch (expected ", value,
+                   ")"));
+      }
+      RETURN_IF_ERROR(checker_.Feed(e));
+      run_.insert(t);
+      if (is_write) {
+        write_lockholders_.insert(t);
+        map_[t] = new_state;
+      } else {
+        read_lockholders_.insert(t);
+      }
+      return Status::OK();
+    }
+
+    default:
+      return Status::InvalidArgument(StrCat(e, " unexpected"));
+  }
+}
+
+}  // namespace nestedtx

@@ -1,0 +1,86 @@
+// R/W Locking objects M(X) — Moss's algorithm, §5.1.
+//
+// M(X) is a resilient, lock-managing variant of basic object X. It keeps:
+//   * write_lockholders / read_lockholders — the lock tables;
+//   * create_requested / run — which accesses have been invoked/responded;
+//   * map : write_lockholders -> states of X — one version of the object
+//     per write-lock holder; map(least(write_lockholders)) is Moss's
+//     "current state".
+//
+// Transition rules (transcribed from the paper):
+//   CREATE(T)                    adds T to create_requested.
+//   INFORM_COMMIT_AT(X)OF(T)     passes T's locks (and its version, if a
+//                                write lock) to parent(T).
+//   INFORM_ABORT_AT(X)OF(T)      discards all locks and versions held by
+//                                descendants of T.
+//   REQUEST_COMMIT(T,v), T write access — enabled iff every read and
+//     write lockholder is an ancestor of T; grants T the write lock and
+//     stores the new version as map(T).
+//   REQUEST_COMMIT(T,v), T read access — enabled iff every WRITE
+//     lockholder is an ancestor of T (read locks do not block reads);
+//     grants T a read lock and stores nothing.
+//
+// Setting every access to kWrite makes this degenerate into the exclusive
+// locking of [LM] — a property tests rely on.
+#ifndef NESTEDTX_LOCKING_RW_LOCK_OBJECT_H_
+#define NESTEDTX_LOCKING_RW_LOCK_OBJECT_H_
+
+#include <map>
+#include <set>
+
+#include "automata/automaton.h"
+#include "serial/data_type.h"
+#include "tx/system_type.h"
+#include "tx/well_formed.h"
+
+namespace nestedtx {
+
+class RwLockObject : public Automaton {
+ public:
+  RwLockObject(const SystemType* st, ObjectId x);
+
+  std::string name() const override;
+  bool IsOperation(const Event& e) const override;
+  bool IsOutput(const Event& e) const override;
+  std::vector<Event> EnabledOutputs() const override;
+  Status Apply(const Event& e) override;
+
+  const std::set<TransactionId>& write_lockholders() const {
+    return write_lockholders_;
+  }
+  const std::set<TransactionId>& read_lockholders() const {
+    return read_lockholders_;
+  }
+  /// Version stored for write-lock holder `t`; asserts if absent.
+  Value VersionOf(const TransactionId& t) const { return map_.at(t); }
+  /// Moss's "current state": map(least(write_lockholders)).
+  Value CurrentState() const;
+
+  /// Lemma 21 invariant: all lockholders, given any write lockholder,
+  /// form ancestor chains with it. Exposed for property tests.
+  bool LockholdersFormChains() const;
+
+ private:
+  /// Deepest member of write_lockholders_ (they form a chain whenever it
+  /// matters; asserted in debug builds).
+  TransactionId LeastWriteLockholder() const;
+
+  bool AllHoldersAreAncestors(const TransactionId& t,
+                              bool include_readers) const;
+
+  const SystemType* st_;
+  ObjectId x_;
+  const DataType* data_type_;
+
+  std::set<TransactionId> write_lockholders_;
+  std::set<TransactionId> read_lockholders_;
+  std::set<TransactionId> create_requested_;
+  std::set<TransactionId> run_;
+  std::map<TransactionId, Value> map_;
+
+  LockingObjectWellFormedChecker checker_;
+};
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_LOCKING_RW_LOCK_OBJECT_H_

@@ -1,0 +1,68 @@
+#include "serial/basic_object.h"
+
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace nestedtx {
+
+BasicObject::BasicObject(const SystemType* st, ObjectId x)
+    : st_(st),
+      x_(x),
+      data_type_(FindDataType(st->Object(x).data_type)),
+      state_(st->Object(x).initial_value),
+      checker_(st, x) {
+  assert(data_type_ != nullptr && "unknown data type");
+}
+
+std::string BasicObject::name() const { return StrCat("X", x_); }
+
+bool BasicObject::IsOperation(const Event& e) const {
+  return IsBasicObjectEvent(*st_, e, x_);
+}
+
+bool BasicObject::IsOutput(const Event& e) const {
+  return IsOperation(e) && e.kind == EventKind::kRequestCommit;
+}
+
+std::vector<Event> BasicObject::EnabledOutputs() const {
+  std::vector<Event> out;
+  for (const TransactionId& t : pending_) {
+    const auto& info = st_->Access(t);
+    const auto [new_state, value] = data_type_->Apply(state_, info.op);
+    (void)new_state;
+    out.push_back(Event::RequestCommit(t, value));
+  }
+  return out;
+}
+
+Status BasicObject::Apply(const Event& e) {
+  if (!IsOperation(e)) {
+    return Status::InvalidArgument(
+        StrCat(name(), ": ", e, " is not my operation"));
+  }
+  if (e.kind == EventKind::kRequestCommit) {
+    if (!pending_.count(e.txn)) {
+      return Status::FailedPrecondition(
+          StrCat(name(), ": ", e, " not pending"));
+    }
+    const auto& info = st_->Access(e.txn);
+    const auto [new_state, value] = data_type_->Apply(state_, info.op);
+    if (value != e.value) {
+      return Status::FailedPrecondition(
+          StrCat(name(), ": ", e, " value mismatch (expected ", value, ")"));
+    }
+    RETURN_IF_ERROR(checker_.Feed(e));
+    state_ = new_state;
+    pending_.erase(e.txn);
+    return Status::OK();
+  }
+  // CREATE(T): input, always accepted (well-formedness guarded upstream;
+  // the checker would reject a duplicate CREATE, which the schedulers
+  // never emit).
+  RETURN_IF_ERROR(checker_.Feed(e));
+  pending_.insert(e.txn);
+  return Status::OK();
+}
+
+}  // namespace nestedtx

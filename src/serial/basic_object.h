@@ -1,0 +1,48 @@
+// Basic object automata (§3.2), concretely the canonical construction of
+// §4.3: state = a set of pending accesses plus one instance of an abstract
+// data type. CREATE(T) adds T to pending; at any time a pending access may
+// be chosen, its operation applied to the instance, and
+// REQUEST_COMMIT(T, v) emitted — all as one atomic step.
+//
+// With read accesses mapped to read-only operations (enforced by
+// ValidateAccessSemantics), this automaton satisfies the §4.3 semantic
+// conditions: CREATEs are transparent (pending membership is invisible to
+// other accesses' return values) and read REQUEST_COMMITs are transparent
+// (they do not change the instance).
+#ifndef NESTEDTX_SERIAL_BASIC_OBJECT_H_
+#define NESTEDTX_SERIAL_BASIC_OBJECT_H_
+
+#include <set>
+
+#include "automata/automaton.h"
+#include "serial/data_type.h"
+#include "tx/system_type.h"
+#include "tx/well_formed.h"
+
+namespace nestedtx {
+
+class BasicObject : public Automaton {
+ public:
+  BasicObject(const SystemType* st, ObjectId x);
+
+  std::string name() const override;
+  bool IsOperation(const Event& e) const override;
+  bool IsOutput(const Event& e) const override;
+  std::vector<Event> EnabledOutputs() const override;
+  Status Apply(const Event& e) override;
+
+  Value state() const { return state_; }
+  const std::set<TransactionId>& pending() const { return pending_; }
+
+ private:
+  const SystemType* st_;
+  ObjectId x_;
+  const DataType* data_type_;
+  Value state_;
+  std::set<TransactionId> pending_;
+  BasicObjectWellFormedChecker checker_;
+};
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_SERIAL_BASIC_OBJECT_H_

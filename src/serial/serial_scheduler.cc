@@ -1,0 +1,140 @@
+#include "serial/serial_scheduler.h"
+
+#include "util/strings.h"
+
+namespace nestedtx {
+
+SerialScheduler::SerialScheduler(const SystemType* st) : st_(st) {
+  create_requested_.insert(TransactionId::Root());
+}
+
+bool SerialScheduler::IsOperation(const Event& e) const {
+  switch (e.kind) {
+    case EventKind::kRequestCreate:
+    case EventKind::kRequestCommit:
+    case EventKind::kCreate:
+    case EventKind::kCommit:
+    case EventKind::kAbort:
+    case EventKind::kReportCommit:
+    case EventKind::kReportAbort:
+      return true;
+    default:
+      return false;  // INFORM events do not exist in serial systems
+  }
+}
+
+bool SerialScheduler::IsOutput(const Event& e) const {
+  switch (e.kind) {
+    case EventKind::kCreate:
+    case EventKind::kCommit:
+    case EventKind::kAbort:
+    case EventKind::kReportCommit:
+    case EventKind::kReportAbort:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool SerialScheduler::SiblingsQuiet(const TransactionId& t) const {
+  // siblings(T) ∩ created ⊆ returned
+  if (t.IsRoot()) return true;
+  for (const TransactionId& sib : st_->Children(t.Parent())) {
+    if (sib == t) continue;
+    if (created_.count(sib) && !returned_.count(sib)) return false;
+  }
+  return true;
+}
+
+bool SerialScheduler::ChildrenReturned(const TransactionId& t) const {
+  // children(T) ∩ create_requested ⊆ returned
+  for (const TransactionId& child : st_->Children(t)) {
+    if (create_requested_.count(child) && !returned_.count(child)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Event> SerialScheduler::EnabledOutputs() const {
+  std::vector<Event> out;
+  for (const TransactionId& t : create_requested_) {
+    // CREATE(T)
+    if (!created_.count(t) && !aborted_.count(t) && SiblingsQuiet(t)) {
+      out.push_back(Event::Create(t));
+      // ABORT(T), T != T0 — same precondition as CREATE.
+      if (!t.IsRoot()) out.push_back(Event::Abort(t));
+    }
+  }
+  for (const auto& [t, v] : commit_requested_) {
+    // COMMIT(T), T != T0
+    if (!t.IsRoot() && !returned_.count(t) && ChildrenReturned(t)) {
+      out.push_back(Event::Commit(t));
+    }
+  }
+  for (const TransactionId& t : committed_) {
+    if (t.IsRoot() || reported_.count(t)) continue;
+    out.push_back(Event::ReportCommit(t, commit_requested_.at(t)));
+  }
+  for (const TransactionId& t : aborted_) {
+    if (t.IsRoot() || reported_.count(t)) continue;
+    out.push_back(Event::ReportAbort(t));
+  }
+  return out;
+}
+
+Status SerialScheduler::Apply(const Event& e) {
+  switch (e.kind) {
+    case EventKind::kRequestCreate:
+      create_requested_.insert(e.txn);
+      return Status::OK();
+    case EventKind::kRequestCommit:
+      commit_requested_.emplace(e.txn, e.value);
+      return Status::OK();
+    case EventKind::kCreate:
+      if (!create_requested_.count(e.txn) || created_.count(e.txn) ||
+          aborted_.count(e.txn) || !SiblingsQuiet(e.txn)) {
+        return Status::FailedPrecondition(StrCat(e, " not enabled"));
+      }
+      created_.insert(e.txn);
+      return Status::OK();
+    case EventKind::kCommit: {
+      auto it = commit_requested_.find(e.txn);
+      if (e.txn.IsRoot() || it == commit_requested_.end() ||
+          returned_.count(e.txn) || !ChildrenReturned(e.txn)) {
+        return Status::FailedPrecondition(StrCat(e, " not enabled"));
+      }
+      committed_.insert(e.txn);
+      returned_.insert(e.txn);
+      return Status::OK();
+    }
+    case EventKind::kAbort:
+      if (e.txn.IsRoot() || !create_requested_.count(e.txn) ||
+          created_.count(e.txn) || aborted_.count(e.txn) ||
+          !SiblingsQuiet(e.txn)) {
+        return Status::FailedPrecondition(StrCat(e, " not enabled"));
+      }
+      aborted_.insert(e.txn);
+      returned_.insert(e.txn);
+      return Status::OK();
+    case EventKind::kReportCommit: {
+      auto it = commit_requested_.find(e.txn);
+      if (e.txn.IsRoot() || !committed_.count(e.txn) ||
+          it == commit_requested_.end() || it->second != e.value) {
+        return Status::FailedPrecondition(StrCat(e, " not enabled"));
+      }
+      reported_.insert(e.txn);
+      return Status::OK();
+    }
+    case EventKind::kReportAbort:
+      if (e.txn.IsRoot() || !aborted_.count(e.txn)) {
+        return Status::FailedPrecondition(StrCat(e, " not enabled"));
+      }
+      reported_.insert(e.txn);
+      return Status::OK();
+    default:
+      return Status::InvalidArgument(StrCat(e, " is not my operation"));
+  }
+}
+
+}  // namespace nestedtx

@@ -1,0 +1,51 @@
+// The serial scheduler (§3.3): runs the transaction tree as a depth-first
+// traversal — siblings strictly sequential, aborts only before creation.
+// Its schedules define the correctness condition for every other system.
+//
+// Pre/postconditions are transcribed from the paper. One liberty is taken
+// for executability: REPORT events, which the paper leaves repeatable, are
+// emitted at most once each. That restricts nondeterminism only (every
+// execution here is an execution of the paper's scheduler).
+#ifndef NESTEDTX_SERIAL_SERIAL_SCHEDULER_H_
+#define NESTEDTX_SERIAL_SERIAL_SCHEDULER_H_
+
+#include <map>
+#include <set>
+
+#include "automata/automaton.h"
+#include "tx/system_type.h"
+
+namespace nestedtx {
+
+class SerialScheduler : public Automaton {
+ public:
+  explicit SerialScheduler(const SystemType* st);
+
+  std::string name() const override { return "serial-scheduler"; }
+  bool IsOperation(const Event& e) const override;
+  bool IsOutput(const Event& e) const override;
+  std::vector<Event> EnabledOutputs() const override;
+  Status Apply(const Event& e) override;
+
+  const std::set<TransactionId>& created() const { return created_; }
+  const std::set<TransactionId>& committed() const { return committed_; }
+  const std::set<TransactionId>& aborted() const { return aborted_; }
+  const std::set<TransactionId>& returned() const { return returned_; }
+
+ private:
+  bool SiblingsQuiet(const TransactionId& t) const;
+  bool ChildrenReturned(const TransactionId& t) const;
+
+  const SystemType* st_;
+  std::set<TransactionId> create_requested_;        // init: {T0}
+  std::set<TransactionId> created_;
+  std::map<TransactionId, Value> commit_requested_;  // (T, v) pairs
+  std::set<TransactionId> committed_;
+  std::set<TransactionId> aborted_;
+  std::set<TransactionId> returned_;
+  std::set<TransactionId> reported_;  // executor refinement (see header)
+};
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_SERIAL_SERIAL_SCHEDULER_H_

@@ -1,0 +1,34 @@
+#include "serial/serial_system.h"
+
+#include "serial/basic_object.h"
+#include "serial/data_type.h"
+#include "serial/serial_scheduler.h"
+
+namespace nestedtx {
+
+Result<std::unique_ptr<System>> MakeSerialSystem(
+    const SystemType& st, const SerialSystemOptions& options) {
+  RETURN_IF_ERROR(st.Validate());
+  RETURN_IF_ERROR(ValidateAccessSemantics(st));
+
+  auto system = std::make_unique<System>();
+
+  ScriptOptions root_script = options.script;
+  root_script.never_commit = true;
+  system->Add(std::make_unique<ScriptedTransaction>(
+      &st, TransactionId::Root(), root_script));
+
+  for (const TransactionId& t : st.AllTransactions()) {
+    if (st.IsInternal(t)) {
+      system->Add(
+          std::make_unique<ScriptedTransaction>(&st, t, options.script));
+    }
+  }
+  for (ObjectId x = 0; x < st.NumObjects(); ++x) {
+    system->Add(std::make_unique<BasicObject>(&st, x));
+  }
+  system->Add(std::make_unique<SerialScheduler>(&st));
+  return system;
+}
+
+}  // namespace nestedtx

@@ -1,0 +1,28 @@
+// Serial system composition (§3.4): one ScriptedTransaction per internal
+// node (including T0, as the environment), one BasicObject per object, and
+// the serial scheduler.
+#ifndef NESTEDTX_SERIAL_SERIAL_SYSTEM_H_
+#define NESTEDTX_SERIAL_SERIAL_SYSTEM_H_
+
+#include <memory>
+
+#include "automata/system.h"
+#include "serial/transaction_automaton.h"
+#include "tx/system_type.h"
+#include "util/status.h"
+
+namespace nestedtx {
+
+struct SerialSystemOptions {
+  /// Applied to every non-root transaction automaton.
+  ScriptOptions script;
+};
+
+/// Build the serial system for `st`. `st` must outlive the system.
+/// Fails if the system type is invalid or violates access semantics.
+Result<std::unique_ptr<System>> MakeSerialSystem(
+    const SystemType& st, const SerialSystemOptions& options = {});
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_SERIAL_SERIAL_SYSTEM_H_

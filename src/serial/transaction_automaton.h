@@ -1,0 +1,68 @@
+// Transaction automata (§3.1).
+//
+// The paper leaves transaction behaviour unspecified beyond preserving
+// well-formedness; for executable systems we provide ScriptedTransaction,
+// a well-formedness-preserving automaton that:
+//   * on CREATE, requests creation of its registered children (either all
+//     eagerly — enabling sibling concurrency under the generic scheduler —
+//     or one at a time);
+//   * once every requested child has reported, requests commit with an
+//     aggregate value (sum of committed children's report values; an
+//     access-free leaf internal node reports 0).
+//
+// The root T0 is scripted too (it is the environment: it creates the
+// top-level transactions) but never requests commit by default.
+#ifndef NESTEDTX_SERIAL_TRANSACTION_AUTOMATON_H_
+#define NESTEDTX_SERIAL_TRANSACTION_AUTOMATON_H_
+
+#include <map>
+#include <set>
+
+#include "automata/automaton.h"
+#include "tx/system_type.h"
+#include "tx/well_formed.h"
+
+namespace nestedtx {
+
+struct ScriptOptions {
+  /// If true, request the next child only after the previous one reported.
+  bool sequential_children = false;
+  /// If true (default for T0), never REQUEST_COMMIT.
+  bool never_commit = false;
+};
+
+class ScriptedTransaction : public Automaton {
+ public:
+  ScriptedTransaction(const SystemType* st, TransactionId self,
+                      ScriptOptions options = {});
+
+  std::string name() const override;
+  bool IsOperation(const Event& e) const override;
+  bool IsOutput(const Event& e) const override;
+  std::vector<Event> EnabledOutputs() const override;
+  Status Apply(const Event& e) override;
+
+  bool created() const { return created_; }
+  bool commit_requested() const { return commit_requested_; }
+
+  /// Children whose reports have arrived, with the reported value
+  /// (aborted children report value 0 here).
+  const std::map<TransactionId, Value>& reports() const { return reports_; }
+
+ private:
+  Value AggregateValue() const;
+
+  const SystemType* st_;
+  TransactionId self_;
+  ScriptOptions options_;
+
+  bool created_ = false;
+  bool commit_requested_ = false;
+  std::set<TransactionId> requested_;
+  std::map<TransactionId, Value> reports_;
+  TransactionWellFormedChecker checker_;
+};
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_SERIAL_TRANSACTION_AUTOMATON_H_

@@ -1,0 +1,149 @@
+#include "tx/event.h"
+
+#include <ostream>
+#include <sstream>
+#include <tuple>
+
+#include "util/strings.h"
+
+namespace nestedtx {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kCreate:
+      return "CREATE";
+    case EventKind::kRequestCreate:
+      return "REQUEST_CREATE";
+    case EventKind::kRequestCommit:
+      return "REQUEST_COMMIT";
+    case EventKind::kCommit:
+      return "COMMIT";
+    case EventKind::kAbort:
+      return "ABORT";
+    case EventKind::kReportCommit:
+      return "REPORT_COMMIT";
+    case EventKind::kReportAbort:
+      return "REPORT_ABORT";
+    case EventKind::kInformCommitAt:
+      return "INFORM_COMMIT_AT";
+    case EventKind::kInformAbortAt:
+      return "INFORM_ABORT_AT";
+  }
+  return "?";
+}
+
+bool Event::operator<(const Event& other) const {
+  return std::tie(kind, txn, value, object) <
+         std::tie(other.kind, other.txn, other.value, other.object);
+}
+
+std::string Event::ToString() const {
+  std::ostringstream oss;
+  switch (kind) {
+    case EventKind::kRequestCommit:
+    case EventKind::kReportCommit:
+      oss << EventKindName(kind) << "(" << txn << "," << value << ")";
+      break;
+    case EventKind::kInformCommitAt:
+    case EventKind::kInformAbortAt:
+      oss << EventKindName(kind) << "(X" << object << ")OF(" << txn << ")";
+      break;
+    default:
+      oss << EventKindName(kind) << "(" << txn << ")";
+  }
+  return oss.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Event& e) {
+  return os << e.ToString();
+}
+
+std::string ToString(const Schedule& schedule) {
+  return Join(schedule, " ");
+}
+
+TransactionId TransactionOf(const Event& e) {
+  switch (e.kind) {
+    case EventKind::kCreate:
+    case EventKind::kRequestCommit:
+      return e.txn;
+    case EventKind::kRequestCreate:
+    case EventKind::kCommit:
+    case EventKind::kAbort:
+    case EventKind::kReportCommit:
+    case EventKind::kReportAbort:
+    case EventKind::kInformCommitAt:
+    case EventKind::kInformAbortAt:
+      return e.txn.IsRoot() ? TransactionId::Root() : e.txn.Parent();
+  }
+  return TransactionId::Root();
+}
+
+bool IsTransactionEvent(const Event& e, const TransactionId& t) {
+  switch (e.kind) {
+    case EventKind::kCreate:
+    case EventKind::kRequestCommit:
+      return e.txn == t;
+    case EventKind::kRequestCreate:
+    case EventKind::kReportCommit:
+    case EventKind::kReportAbort:
+      return !e.txn.IsRoot() && e.txn.Parent() == t;
+    default:
+      return false;
+  }
+}
+
+bool IsBasicObjectEvent(const SystemType& st, const Event& e, ObjectId x) {
+  if (e.kind != EventKind::kCreate && e.kind != EventKind::kRequestCommit) {
+    return false;
+  }
+  return st.IsAccess(e.txn) && st.Access(e.txn).object == x;
+}
+
+bool IsLockingObjectEvent(const SystemType& st, const Event& e, ObjectId x) {
+  if (e.kind == EventKind::kInformCommitAt ||
+      e.kind == EventKind::kInformAbortAt) {
+    return e.object == x;
+  }
+  return IsBasicObjectEvent(st, e, x);
+}
+
+Schedule ProjectTransaction(const Schedule& schedule,
+                            const TransactionId& t) {
+  Schedule out;
+  for (const Event& e : schedule) {
+    if (IsTransactionEvent(e, t)) out.push_back(e);
+  }
+  return out;
+}
+
+Schedule ProjectBasicObject(const SystemType& st, const Schedule& schedule,
+                            ObjectId x) {
+  Schedule out;
+  for (const Event& e : schedule) {
+    if (IsBasicObjectEvent(st, e, x)) out.push_back(e);
+  }
+  return out;
+}
+
+Schedule ProjectLockingObject(const SystemType& st, const Schedule& schedule,
+                              ObjectId x) {
+  Schedule out;
+  for (const Event& e : schedule) {
+    if (IsLockingObjectEvent(st, e, x)) out.push_back(e);
+  }
+  return out;
+}
+
+bool IsReturnEvent(const Event& e, const TransactionId& t) {
+  return (e.kind == EventKind::kCommit || e.kind == EventKind::kAbort) &&
+         e.txn == t;
+}
+
+bool IsReportEvent(const Event& e, const TransactionId& t) {
+  return (e.kind == EventKind::kReportCommit ||
+          e.kind == EventKind::kReportAbort) &&
+         e.txn == t;
+}
+
+}  // namespace nestedtx

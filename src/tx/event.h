@@ -1,0 +1,125 @@
+// The operation vocabulary shared by every automaton in the paper, and the
+// Schedule type (a finite sequence of events).
+//
+// Terminology: the paper calls these "operations" and calls occurrences in
+// a schedule "events". We use `Event` for both, since every function here
+// manipulates occurrences in sequences.
+#ifndef NESTEDTX_TX_EVENT_H_
+#define NESTEDTX_TX_EVENT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tx/system_type.h"
+#include "tx/transaction_id.h"
+
+namespace nestedtx {
+
+enum class EventKind {
+  kCreate,           // CREATE(T): input to T (or to T's object, if access)
+  kRequestCreate,    // REQUEST_CREATE(T): output of parent(T)
+  kRequestCommit,    // REQUEST_COMMIT(T, v): output of T (or T's object)
+  kCommit,           // COMMIT(T): internal to the scheduler
+  kAbort,            // ABORT(T): internal to the scheduler
+  kReportCommit,     // REPORT_COMMIT(T, v): input to parent(T)
+  kReportAbort,      // REPORT_ABORT(T): input to parent(T)
+  kInformCommitAt,   // INFORM_COMMIT_AT(X)OF(T): input to M(X) only
+  kInformAbortAt,    // INFORM_ABORT_AT(X)OF(T): input to M(X) only
+};
+
+const char* EventKindName(EventKind kind);
+
+/// One event. `txn` is the transaction named in the event; `value` is
+/// meaningful for kRequestCommit / kReportCommit; `object` is meaningful
+/// for the INFORM events.
+struct Event {
+  EventKind kind = EventKind::kCreate;
+  TransactionId txn;
+  Value value = 0;
+  ObjectId object = 0;
+
+  static Event Create(TransactionId t) {
+    return Event{EventKind::kCreate, std::move(t), 0, 0};
+  }
+  static Event RequestCreate(TransactionId t) {
+    return Event{EventKind::kRequestCreate, std::move(t), 0, 0};
+  }
+  static Event RequestCommit(TransactionId t, Value v) {
+    return Event{EventKind::kRequestCommit, std::move(t), v, 0};
+  }
+  static Event Commit(TransactionId t) {
+    return Event{EventKind::kCommit, std::move(t), 0, 0};
+  }
+  static Event Abort(TransactionId t) {
+    return Event{EventKind::kAbort, std::move(t), 0, 0};
+  }
+  static Event ReportCommit(TransactionId t, Value v) {
+    return Event{EventKind::kReportCommit, std::move(t), v, 0};
+  }
+  static Event ReportAbort(TransactionId t) {
+    return Event{EventKind::kReportAbort, std::move(t), 0, 0};
+  }
+  static Event InformCommitAt(ObjectId x, TransactionId t) {
+    return Event{EventKind::kInformCommitAt, std::move(t), 0, x};
+  }
+  static Event InformAbortAt(ObjectId x, TransactionId t) {
+    return Event{EventKind::kInformAbortAt, std::move(t), 0, x};
+  }
+
+  bool operator==(const Event&) const = default;
+  bool operator<(const Event& other) const;
+
+  std::string ToString() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Event& e);
+
+/// A finite schedule: the sequence of events of an execution.
+using Schedule = std::vector<Event>;
+
+std::string ToString(const Schedule& schedule);
+
+/// The paper's transaction(π): the (non-access) transaction an event
+/// "belongs to" for visibility purposes. CREATE(T) and REQUEST_COMMIT(T,v)
+/// belong to T; REQUEST_CREATE(T'), COMMIT(T'), ABORT(T'),
+/// REPORT_COMMIT(T',v) and REPORT_ABORT(T') belong to parent(T').
+/// INFORM events belong to the informed-about transaction's parent as
+/// well (they piggyback on the corresponding COMMIT/ABORT).
+TransactionId TransactionOf(const Event& e);
+
+/// True iff `e` is an operation of the transaction automaton T (per §3.1's
+/// signature): CREATE(T); REQUEST_CREATE / REPORT_COMMIT / REPORT_ABORT of
+/// a child of T; REQUEST_COMMIT(T, v). Accesses have no transaction
+/// automaton — their CREATE/REQUEST_COMMIT are object events — so callers
+/// pass internal T only.
+bool IsTransactionEvent(const Event& e, const TransactionId& t);
+
+/// True iff `e` is an operation of basic object X under system type `st`:
+/// CREATE(T) or REQUEST_COMMIT(T, v) for T an access to X.
+bool IsBasicObjectEvent(const SystemType& st, const Event& e, ObjectId x);
+
+/// True iff `e` is an operation of the R/W Locking object M(X): a basic
+/// object event of X, or INFORM_COMMIT_AT(X)/INFORM_ABORT_AT(X).
+bool IsLockingObjectEvent(const SystemType& st, const Event& e, ObjectId x);
+
+/// α|T — subsequence of events of transaction automaton T.
+Schedule ProjectTransaction(const Schedule& schedule, const TransactionId& t);
+
+/// α|X — subsequence of basic-object-X events.
+Schedule ProjectBasicObject(const SystemType& st, const Schedule& schedule,
+                            ObjectId x);
+
+/// α|M(X) — subsequence of R/W-Locking-object-X events.
+Schedule ProjectLockingObject(const SystemType& st, const Schedule& schedule,
+                              ObjectId x);
+
+/// True iff `e` is a return event (COMMIT or ABORT) for `t`.
+bool IsReturnEvent(const Event& e, const TransactionId& t);
+
+/// True iff `e` is a report event (REPORT_COMMIT or REPORT_ABORT) for `t`.
+bool IsReportEvent(const Event& e, const TransactionId& t);
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_TX_EVENT_H_

@@ -1,0 +1,124 @@
+#include "tx/schedule_io.h"
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace nestedtx {
+
+namespace {
+
+const std::map<std::string, EventKind>& KindByName() {
+  static const std::map<std::string, EventKind> kMap = {
+      {"CREATE", EventKind::kCreate},
+      {"REQUEST_CREATE", EventKind::kRequestCreate},
+      {"REQUEST_COMMIT", EventKind::kRequestCommit},
+      {"COMMIT", EventKind::kCommit},
+      {"ABORT", EventKind::kAbort},
+      {"REPORT_COMMIT", EventKind::kReportCommit},
+      {"REPORT_ABORT", EventKind::kReportAbort},
+      {"INFORM_COMMIT_AT", EventKind::kInformCommitAt},
+      {"INFORM_ABORT_AT", EventKind::kInformAbortAt},
+  };
+  return kMap;
+}
+
+bool HasValue(EventKind kind) {
+  return kind == EventKind::kRequestCommit ||
+         kind == EventKind::kReportCommit;
+}
+
+bool HasObject(EventKind kind) {
+  return kind == EventKind::kInformCommitAt ||
+         kind == EventKind::kInformAbortAt;
+}
+
+}  // namespace
+
+std::string TransactionIdToText(const TransactionId& id) {
+  if (id.IsRoot()) return "-";
+  return Join(id.path(), ".");
+}
+
+Result<TransactionId> TransactionIdFromText(const std::string& text) {
+  if (text == "-") return TransactionId::Root();
+  if (text.empty()) {
+    return Status::InvalidArgument("empty transaction id");
+  }
+  std::vector<uint32_t> path;
+  for (const std::string& part : Split(text, '.')) {
+    if (part.empty()) {
+      return Status::InvalidArgument(
+          StrCat("bad transaction id '", text, "'"));
+    }
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(part.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return Status::InvalidArgument(
+          StrCat("bad transaction id '", text, "'"));
+    }
+    path.push_back(static_cast<uint32_t>(v));
+  }
+  return TransactionId(std::move(path));
+}
+
+std::string ScheduleToText(const Schedule& schedule) {
+  std::ostringstream oss;
+  for (const Event& e : schedule) {
+    oss << EventKindName(e.kind) << ' ' << TransactionIdToText(e.txn);
+    if (HasValue(e.kind)) oss << " v=" << e.value;
+    if (HasObject(e.kind)) oss << " x=" << e.object;
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+Result<Schedule> ScheduleFromText(const std::string& text) {
+  Schedule out;
+  size_t line_no = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string kind_name, txn_text;
+    if (!(fields >> kind_name >> txn_text)) {
+      return Status::InvalidArgument(
+          StrCat("line ", line_no, ": expected KIND and txn"));
+    }
+    auto kind_it = KindByName().find(kind_name);
+    if (kind_it == KindByName().end()) {
+      return Status::InvalidArgument(
+          StrCat("line ", line_no, ": unknown event kind '", kind_name,
+                 "'"));
+    }
+    Result<TransactionId> txn = TransactionIdFromText(txn_text);
+    if (!txn.ok()) {
+      return Status::InvalidArgument(
+          StrCat("line ", line_no, ": ", txn.status().message()));
+    }
+    Event e;
+    e.kind = kind_it->second;
+    e.txn = *txn;
+    std::string extra;
+    while (fields >> extra) {
+      if (extra.rfind("v=", 0) == 0) {
+        e.value = std::strtoll(extra.c_str() + 2, nullptr, 10);
+      } else if (extra.rfind("x=", 0) == 0) {
+        e.object =
+            static_cast<ObjectId>(std::strtoul(extra.c_str() + 2, nullptr,
+                                               10));
+      } else {
+        return Status::InvalidArgument(
+            StrCat("line ", line_no, ": unexpected field '", extra, "'"));
+      }
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace nestedtx

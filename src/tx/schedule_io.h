@@ -1,0 +1,32 @@
+// Schedule (de)serialization: a stable, line-oriented text format for
+// saving and replaying schedules — counterexample exchange, regression
+// corpora, external tooling.
+//
+// Format: one event per line,
+//     KIND <txn-path> [v=<value>] [x=<object>]
+// where <txn-path> is "-" for T0 or dot-separated child indices
+// ("0.2.1" = T0.2.1 ... wait, no: "0.2.1" means T0 -> child 0 -> child 2
+// -> child 1). Blank lines and lines starting with '#' are ignored.
+#ifndef NESTEDTX_TX_SCHEDULE_IO_H_
+#define NESTEDTX_TX_SCHEDULE_IO_H_
+
+#include <string>
+
+#include "tx/event.h"
+#include "util/status.h"
+
+namespace nestedtx {
+
+/// Serialize a schedule to the text format.
+std::string ScheduleToText(const Schedule& schedule);
+
+/// Parse the text format; fails with InvalidArgument naming the bad line.
+Result<Schedule> ScheduleFromText(const std::string& text);
+
+/// Serialize / parse a single transaction id ("-" for T0, "0.2.1" ...).
+std::string TransactionIdToText(const TransactionId& id);
+Result<TransactionId> TransactionIdFromText(const std::string& text);
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_TX_SCHEDULE_IO_H_

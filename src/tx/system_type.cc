@@ -1,0 +1,152 @@
+#include "tx/system_type.h"
+
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace nestedtx {
+
+const char* AccessKindName(AccessKind kind) {
+  return kind == AccessKind::kRead ? "read" : "write";
+}
+
+bool SystemType::Contains(const TransactionId& id) const {
+  return id.IsRoot() || nodes_.count(id) > 0;
+}
+
+bool SystemType::IsAccess(const TransactionId& id) const {
+  auto it = nodes_.find(id);
+  return it != nodes_.end() && it->second == NodeKind::kAccess;
+}
+
+bool SystemType::IsInternal(const TransactionId& id) const {
+  if (id.IsRoot()) return true;
+  auto it = nodes_.find(id);
+  return it != nodes_.end() && it->second == NodeKind::kInternal;
+}
+
+const SystemType::AccessInfo& SystemType::Access(
+    const TransactionId& id) const {
+  auto it = access_info_.find(id);
+  assert(it != access_info_.end() && "not an access");
+  return it->second;
+}
+
+const std::vector<TransactionId>& SystemType::Children(
+    const TransactionId& id) const {
+  auto it = children_.find(id);
+  if (it == children_.end()) return empty_children_;
+  return it->second;
+}
+
+const std::vector<TransactionId>& SystemType::AccessesOf(
+    ObjectId object) const {
+  assert(object < accesses_by_object_.size());
+  return accesses_by_object_[object];
+}
+
+Status SystemType::Validate() const {
+  for (const auto& [id, kind] : nodes_) {
+    if (kind == NodeKind::kAccess) {
+      if (!Children(id).empty()) {
+        return Status::InvalidArgument(
+            StrCat("access ", id, " has children; accesses must be leaves"));
+      }
+      const auto& info = access_info_.at(id);
+      if (info.object >= objects_.size()) {
+        return Status::InvalidArgument(
+            StrCat("access ", id, " references unknown object ",
+                   info.object));
+      }
+    }
+    if (!id.IsRoot() && !Contains(id.Parent())) {
+      return Status::InvalidArgument(
+          StrCat("transaction ", id, " has unregistered parent"));
+    }
+  }
+  return Status::OK();
+}
+
+SystemTypeBuilder::SystemTypeBuilder() = default;
+
+ObjectId SystemTypeBuilder::AddObject(std::string name, std::string data_type,
+                                      Value initial_value) {
+  const ObjectId id = static_cast<ObjectId>(st_.objects_.size());
+  st_.objects_.push_back(SystemType::ObjectInfo{
+      std::move(name), std::move(data_type), initial_value});
+  st_.accesses_by_object_.emplace_back();
+  return id;
+}
+
+TransactionId SystemTypeBuilder::AddNode(const TransactionId& parent,
+                                         SystemType::NodeKind kind) {
+  return AddNodeAt(parent, next_child_index_[parent], kind);
+}
+
+TransactionId SystemTypeBuilder::AddNodeAt(const TransactionId& parent,
+                                           uint32_t index,
+                                           SystemType::NodeKind kind) {
+  assert(st_.IsInternal(parent) && "parent must be internal (or T0)");
+  uint32_t& next = next_child_index_[parent];
+  assert(index >= next && "child index already assigned");
+  next = index + 1;
+  const TransactionId id = parent.Child(index);
+  st_.nodes_[id] = kind;
+  st_.children_[parent].push_back(id);
+  st_.all_.push_back(id);
+  return id;
+}
+
+TransactionId SystemTypeBuilder::AddInternal(const TransactionId& parent) {
+  return AddNode(parent, SystemType::NodeKind::kInternal);
+}
+
+TransactionId SystemTypeBuilder::AddAccess(const TransactionId& parent,
+                                           ObjectId object, AccessKind kind,
+                                           OpDescriptor op) {
+  assert(object < st_.objects_.size() && "object not registered");
+  const TransactionId id = AddNode(parent, SystemType::NodeKind::kAccess);
+  st_.access_info_[id] = SystemType::AccessInfo{object, kind, op};
+  st_.accesses_.push_back(id);
+  st_.accesses_by_object_[object].push_back(id);
+  return id;
+}
+
+TransactionId SystemTypeBuilder::AddInternalAt(const TransactionId& parent,
+                                               uint32_t index) {
+  return AddNodeAt(parent, index, SystemType::NodeKind::kInternal);
+}
+
+TransactionId SystemTypeBuilder::AddAccessAt(const TransactionId& parent,
+                                             uint32_t index, ObjectId object,
+                                             AccessKind kind,
+                                             OpDescriptor op) {
+  assert(object < st_.objects_.size() && "object not registered");
+  const TransactionId id =
+      AddNodeAt(parent, index, SystemType::NodeKind::kAccess);
+  st_.access_info_[id] = SystemType::AccessInfo{object, kind, op};
+  st_.accesses_.push_back(id);
+  st_.accesses_by_object_[object].push_back(id);
+  return id;
+}
+
+SystemType SystemTypeBuilder::Build() {
+  // Re-derive all_ in pre-order for deterministic iteration.
+  std::vector<TransactionId> ordered;
+  ordered.reserve(st_.all_.size());
+  // nodes_ is a std::map keyed by path, whose lexicographic order is a
+  // pre-order traversal of the tree.
+  for (const auto& [id, kind] : st_.nodes_) {
+    (void)kind;
+    ordered.push_back(id);
+  }
+  st_.all_ = std::move(ordered);
+  std::vector<TransactionId> acc;
+  for (const auto& id : st_.all_) {
+    if (st_.IsAccess(id)) acc.push_back(id);
+  }
+  st_.accesses_ = std::move(acc);
+  return std::move(st_);
+}
+
+}  // namespace nestedtx

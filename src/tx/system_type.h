@@ -1,0 +1,148 @@
+// System types (§3): the predefined, tree-shaped naming scheme for all
+// transactions that might ever run, with the leaves ("accesses")
+// partitioned among the shared data objects and classified as read or
+// write accesses (§4.3).
+//
+// The paper's trees are infinite; an executable system type is a finite,
+// explicitly-registered tree. Each access carries an OpDescriptor — the
+// abstract-data-type operation it performs when run (interpreted by the
+// object's DataType, see serial/data_type.h).
+#ifndef NESTEDTX_TX_SYSTEM_TYPE_H_
+#define NESTEDTX_TX_SYSTEM_TYPE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tx/transaction_id.h"
+#include "util/status.h"
+
+namespace nestedtx {
+
+/// Object identifier within a system type.
+using ObjectId = uint32_t;
+
+/// Return values of transactions and accesses (the paper's value set V).
+using Value = int64_t;
+
+/// Classification of an access, per §4.3. Read accesses must satisfy the
+/// semantic conditions (their REQUEST_COMMITs are transparent); write
+/// accesses are unconstrained.
+enum class AccessKind { kRead, kWrite };
+
+const char* AccessKindName(AccessKind kind);
+
+/// An abstract-data-type operation an access performs. `code` selects the
+/// operation within the object's data type, `arg` is its parameter.
+/// Conventions per data type are documented in serial/data_type.h.
+struct OpDescriptor {
+  uint32_t code = 0;
+  Value arg = 0;
+
+  bool operator==(const OpDescriptor&) const = default;
+};
+
+/// A finite system type: the transaction tree, the objects, and the
+/// access partition. Immutable once built (via SystemTypeBuilder).
+class SystemType {
+ public:
+  enum class NodeKind { kInternal, kAccess };
+
+  struct AccessInfo {
+    ObjectId object = 0;
+    AccessKind kind = AccessKind::kWrite;
+    OpDescriptor op;
+  };
+
+  struct ObjectInfo {
+    std::string name;
+    std::string data_type;   // interpreted by the DataType registry
+    Value initial_value = 0; // initial abstract state parameter
+  };
+
+  /// True iff T is a registered transaction of this system type.
+  /// T0 is always part of the system type.
+  bool Contains(const TransactionId& id) const;
+
+  bool IsAccess(const TransactionId& id) const;
+  bool IsInternal(const TransactionId& id) const;
+
+  /// Access metadata; requires IsAccess(id).
+  const AccessInfo& Access(const TransactionId& id) const;
+
+  /// Registered children of `id`, in child-index order.
+  const std::vector<TransactionId>& Children(const TransactionId& id) const;
+
+  /// All registered transactions (excluding T0), in pre-order.
+  const std::vector<TransactionId>& AllTransactions() const {
+    return all_;
+  }
+
+  /// All registered accesses, in pre-order.
+  const std::vector<TransactionId>& AllAccesses() const { return accesses_; }
+
+  /// Accesses belonging to object X, in pre-order.
+  const std::vector<TransactionId>& AccessesOf(ObjectId object) const;
+
+  size_t NumObjects() const { return objects_.size(); }
+  const ObjectInfo& Object(ObjectId id) const { return objects_.at(id); }
+
+  /// Sanity checks: accesses are leaves, every access's object exists.
+  Status Validate() const;
+
+ private:
+  friend class SystemTypeBuilder;
+
+  std::map<TransactionId, NodeKind> nodes_;
+  std::map<TransactionId, AccessInfo> access_info_;
+  std::map<TransactionId, std::vector<TransactionId>> children_;
+  std::vector<TransactionId> all_;
+  std::vector<TransactionId> accesses_;
+  std::vector<std::vector<TransactionId>> accesses_by_object_;
+  std::vector<ObjectInfo> objects_;
+  std::vector<TransactionId> empty_children_;
+};
+
+/// Incremental construction of a SystemType.
+class SystemTypeBuilder {
+ public:
+  SystemTypeBuilder();
+
+  /// Register a data object. `data_type` names a registered DataType
+  /// ("register", "counter", "bank_account", ...).
+  ObjectId AddObject(std::string name, std::string data_type,
+                     Value initial_value = 0);
+
+  /// Register a new internal (non-access) child of `parent`; returns its id.
+  /// `parent` must be T0 or an already-registered internal node.
+  TransactionId AddInternal(const TransactionId& parent);
+
+  /// Register a new access child of `parent` touching `object`.
+  TransactionId AddAccess(const TransactionId& parent, ObjectId object,
+                          AccessKind kind, OpDescriptor op);
+
+  /// Explicit-index variants: register `parent`.Child(index), skipping any
+  /// unused indices (used when reconstructing a system type from an engine
+  /// trace, where some child slots were consumed by operations that never
+  /// ran). `index` must be >= the next unassigned index for `parent`.
+  TransactionId AddInternalAt(const TransactionId& parent, uint32_t index);
+  TransactionId AddAccessAt(const TransactionId& parent, uint32_t index,
+                            ObjectId object, AccessKind kind,
+                            OpDescriptor op);
+
+  /// Finish; the builder must not be reused afterwards.
+  SystemType Build();
+
+ private:
+  TransactionId AddNode(const TransactionId& parent, SystemType::NodeKind k);
+  TransactionId AddNodeAt(const TransactionId& parent, uint32_t index,
+                          SystemType::NodeKind k);
+
+  SystemType st_;
+  std::map<TransactionId, uint32_t> next_child_index_;
+};
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_TX_SYSTEM_TYPE_H_

@@ -1,0 +1,132 @@
+#include "tx/system_type_io.h"
+
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "tx/schedule_io.h"
+#include "util/strings.h"
+
+namespace nestedtx {
+
+std::string SystemTypeToText(const SystemType& st) {
+  std::ostringstream oss;
+  for (ObjectId x = 0; x < st.NumObjects(); ++x) {
+    const auto& info = st.Object(x);
+    oss << "object " << info.name << ' ' << info.data_type << ' '
+        << info.initial_value << '\n';
+  }
+  for (const TransactionId& t : st.AllTransactions()) {
+    if (st.IsAccess(t)) {
+      const auto& a = st.Access(t);
+      oss << "access " << TransactionIdToText(t) << " x=" << a.object
+          << " kind=" << AccessKindName(a.kind) << " op=" << a.op.code
+          << ',' << a.op.arg << '\n';
+    } else {
+      oss << "txn " << TransactionIdToText(t) << '\n';
+    }
+  }
+  return oss.str();
+}
+
+namespace {
+
+Status BadLine(size_t line_no, const std::string& why) {
+  return Status::InvalidArgument(StrCat("line ", line_no, ": ", why));
+}
+
+}  // namespace
+
+Result<SystemType> SystemTypeFromText(const std::string& text) {
+  SystemTypeBuilder b;
+  std::istringstream lines(text);
+  std::string line;
+  size_t line_no = 0;
+  size_t num_objects = 0;
+  // Parser-side structure checks, so malformed input fails with a status
+  // instead of tripping builder asserts.
+  std::set<TransactionId> internal = {TransactionId::Root()};
+  std::map<TransactionId, uint32_t> next_index;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    if (kind == "object") {
+      std::string name, data_type;
+      int64_t initial = 0;
+      if (!(fields >> name >> data_type >> initial)) {
+        return BadLine(line_no, "expected: object <name> <type> <initial>");
+      }
+      b.AddObject(name, data_type, initial);
+      ++num_objects;
+    } else if (kind == "txn" || kind == "access") {
+      std::string id_text;
+      if (!(fields >> id_text)) return BadLine(line_no, "missing txn id");
+      Result<TransactionId> id = TransactionIdFromText(id_text);
+      if (!id.ok()) return BadLine(line_no, id.status().message());
+      if (id->IsRoot()) return BadLine(line_no, "T0 is implicit");
+      const TransactionId parent = id->Parent();
+      const uint32_t index = id->path().back();
+      if (!internal.count(parent)) {
+        return BadLine(line_no,
+                       "parent not yet declared as an internal txn");
+      }
+      uint32_t& next = next_index[parent];
+      if (index < next) {
+        return BadLine(line_no, "child index out of order or duplicated");
+      }
+      next = index + 1;
+      if (kind == "txn") {
+        b.AddInternalAt(parent, index);
+        internal.insert(*id);
+        continue;
+      }
+      ObjectId object = 0;
+      AccessKind access_kind = AccessKind::kWrite;
+      OpDescriptor op;
+      bool have_x = false, have_kind = false, have_op = false;
+      std::string field;
+      while (fields >> field) {
+        if (field.rfind("x=", 0) == 0) {
+          object = static_cast<ObjectId>(
+              std::strtoul(field.c_str() + 2, nullptr, 10));
+          have_x = true;
+        } else if (field == "kind=read") {
+          access_kind = AccessKind::kRead;
+          have_kind = true;
+        } else if (field == "kind=write") {
+          access_kind = AccessKind::kWrite;
+          have_kind = true;
+        } else if (field.rfind("op=", 0) == 0) {
+          const auto parts = Split(field.substr(3), ',');
+          if (parts.size() != 2) {
+            return BadLine(line_no, "op= wants <code>,<arg>");
+          }
+          op.code = static_cast<uint32_t>(
+              std::strtoul(parts[0].c_str(), nullptr, 10));
+          op.arg = std::strtoll(parts[1].c_str(), nullptr, 10);
+          have_op = true;
+        } else {
+          return BadLine(line_no, StrCat("unexpected field '", field, "'"));
+        }
+      }
+      if (!have_x || !have_kind || !have_op) {
+        return BadLine(line_no, "access needs x=, kind=, op= fields");
+      }
+      if (object >= num_objects) {
+        return BadLine(line_no, "access references unknown object");
+      }
+      b.AddAccessAt(parent, index, object, access_kind, op);
+    } else {
+      return BadLine(line_no, StrCat("unknown directive '", kind, "'"));
+    }
+  }
+  SystemType st = b.Build();
+  RETURN_IF_ERROR(st.Validate());
+  return st;
+}
+
+}  // namespace nestedtx

@@ -1,0 +1,25 @@
+// SystemType (de)serialization: the companion of schedule_io.h — a saved
+// counterexample is only reproducible together with its system type.
+//
+// Format, line oriented ('#' comments, blank lines ignored):
+//   object <name> <data-type> <initial-value>
+//   txn <id>
+//   access <id> x=<object-index> kind=read|write op=<code>,<arg>
+// Transactions must appear parents-before-children with contiguous or
+// gapped (ascending) child indices, as produced by the serializer.
+#ifndef NESTEDTX_TX_SYSTEM_TYPE_IO_H_
+#define NESTEDTX_TX_SYSTEM_TYPE_IO_H_
+
+#include <string>
+
+#include "tx/system_type.h"
+#include "util/status.h"
+
+namespace nestedtx {
+
+std::string SystemTypeToText(const SystemType& st);
+Result<SystemType> SystemTypeFromText(const std::string& text);
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_TX_SYSTEM_TYPE_IO_H_

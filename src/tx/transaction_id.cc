@@ -1,0 +1,79 @@
+#include "tx/transaction_id.h"
+
+#include <cassert>
+#include <ostream>
+
+namespace nestedtx {
+
+TransactionId TransactionId::Child(uint32_t index) const {
+  std::vector<uint32_t> p = path_;
+  p.push_back(index);
+  return TransactionId(std::move(p));
+}
+
+TransactionId TransactionId::Parent() const {
+  assert(!IsRoot() && "T0 has no parent");
+  std::vector<uint32_t> p(path_.begin(), path_.end() - 1);
+  return TransactionId(std::move(p));
+}
+
+bool TransactionId::IsAncestorOf(const TransactionId& other) const {
+  if (path_.size() > other.path_.size()) return false;
+  for (size_t i = 0; i < path_.size(); ++i) {
+    if (path_[i] != other.path_[i]) return false;
+  }
+  return true;
+}
+
+TransactionId TransactionId::Lca(const TransactionId& other) const {
+  std::vector<uint32_t> p;
+  const size_t n = std::min(path_.size(), other.path_.size());
+  for (size_t i = 0; i < n && path_[i] == other.path_[i]; ++i) {
+    p.push_back(path_[i]);
+  }
+  return TransactionId(std::move(p));
+}
+
+std::vector<TransactionId> TransactionId::AncestorsToRoot() const {
+  std::vector<TransactionId> out;
+  TransactionId cur = *this;
+  out.push_back(cur);
+  while (!cur.IsRoot()) {
+    cur = cur.Parent();
+    out.push_back(cur);
+  }
+  return out;
+}
+
+TransactionId TransactionId::ChildOfAncestorToward(
+    const TransactionId& ancestor) const {
+  assert(ancestor.IsProperAncestorOf(*this));
+  std::vector<uint32_t> p(path_.begin(),
+                          path_.begin() + ancestor.path_.size() + 1);
+  return TransactionId(std::move(p));
+}
+
+std::string TransactionId::ToString() const {
+  std::string out = "T0";
+  for (uint32_t c : path_) {
+    out += '.';
+    out += std::to_string(c);
+  }
+  return out;
+}
+
+size_t TransactionId::Hash() const {
+  // FNV-1a over the path elements.
+  size_t h = 1469598103934665603ULL;
+  for (uint32_t c : path_) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::ostream& operator<<(std::ostream& os, const TransactionId& id) {
+  return os << id.ToString();
+}
+
+}  // namespace nestedtx

@@ -1,0 +1,96 @@
+// Hierarchical transaction names.
+//
+// The paper (§3) organizes all possible transactions into a tree by
+// parent(), rooted at the mythical transaction T0 that models the external
+// environment. A TransactionId is a path from the root: T0 is the empty
+// path, its i-th child is [i], that child's j-th child is [i, j], etc.
+// Following the paper, ancestor/descendant are reflexive: every transaction
+// is its own ancestor and its own descendant.
+#ifndef NESTEDTX_TX_TRANSACTION_ID_H_
+#define NESTEDTX_TX_TRANSACTION_ID_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace nestedtx {
+
+/// Value-type hierarchical transaction name (a path of child indices).
+class TransactionId {
+ public:
+  /// The root transaction T0 (empty path).
+  TransactionId() = default;
+
+  explicit TransactionId(std::vector<uint32_t> path)
+      : path_(std::move(path)) {}
+
+  static TransactionId Root() { return TransactionId(); }
+
+  /// The i-th child of this transaction.
+  TransactionId Child(uint32_t index) const;
+
+  /// Parent of this transaction. Requires !IsRoot().
+  TransactionId Parent() const;
+
+  bool IsRoot() const { return path_.empty(); }
+
+  /// Nesting depth: 0 for T0, 1 for top-level transactions, etc.
+  size_t Depth() const { return path_.size(); }
+
+  /// Reflexive ancestor test: true iff this is an ancestor of `other`
+  /// (this's path is a prefix of other's path).
+  bool IsAncestorOf(const TransactionId& other) const;
+
+  /// Reflexive descendant test.
+  bool IsDescendantOf(const TransactionId& other) const {
+    return other.IsAncestorOf(*this);
+  }
+
+  /// Strict (non-reflexive) ancestor test.
+  bool IsProperAncestorOf(const TransactionId& other) const {
+    return path_.size() < other.path_.size() && IsAncestorOf(other);
+  }
+
+  /// Least common ancestor of this and `other`.
+  TransactionId Lca(const TransactionId& other) const;
+
+  /// All ancestors from this (inclusive) up to the root (inclusive).
+  std::vector<TransactionId> AncestorsToRoot() const;
+
+  /// The child of `ancestor` on the path to this transaction.
+  /// Requires `ancestor` to be a proper ancestor of this.
+  TransactionId ChildOfAncestorToward(const TransactionId& ancestor) const;
+
+  const std::vector<uint32_t>& path() const { return path_; }
+
+  /// "T0", "T0.2", "T0.2.0", ...
+  std::string ToString() const;
+
+  bool operator==(const TransactionId& other) const {
+    return path_ == other.path_;
+  }
+  bool operator!=(const TransactionId& other) const {
+    return !(*this == other);
+  }
+  /// Lexicographic order on paths (stable container key; also gives
+  /// pre-order among comparable tree positions).
+  bool operator<(const TransactionId& other) const {
+    return path_ < other.path_;
+  }
+
+  size_t Hash() const;
+
+ private:
+  std::vector<uint32_t> path_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TransactionId& id);
+
+struct TransactionIdHash {
+  size_t operator()(const TransactionId& id) const { return id.Hash(); }
+};
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_TX_TRANSACTION_ID_H_

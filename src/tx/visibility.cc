@@ -1,0 +1,195 @@
+#include "tx/visibility.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/strings.h"
+
+namespace nestedtx {
+
+FateIndex FateIndex::Of(const Schedule& schedule) {
+  FateIndex idx;
+  for (const Event& e : schedule) {
+    if (e.kind == EventKind::kCommit) idx.committed.insert(e.txn);
+    if (e.kind == EventKind::kAbort) idx.aborted.insert(e.txn);
+  }
+  return idx;
+}
+
+bool FateIndex::IsCommittedTo(const TransactionId& t,
+                              const TransactionId& tp) const {
+  // Every ancestor of T that is a proper descendant of T' must be committed.
+  TransactionId cur = t;
+  while (tp.IsProperAncestorOf(cur)) {
+    if (!committed.count(cur)) return false;
+    cur = cur.Parent();
+  }
+  return true;
+}
+
+bool FateIndex::IsVisibleTo(const TransactionId& t,
+                            const TransactionId& tp) const {
+  return IsCommittedTo(t, t.Lca(tp));
+}
+
+bool FateIndex::IsOrphan(const TransactionId& t) const {
+  TransactionId cur = t;
+  for (;;) {
+    if (aborted.count(cur)) return true;
+    if (cur.IsRoot()) return false;
+    cur = cur.Parent();
+  }
+}
+
+bool IsCommittedTo(const Schedule& schedule, const TransactionId& t,
+                   const TransactionId& tp) {
+  return FateIndex::Of(schedule).IsCommittedTo(t, tp);
+}
+
+bool IsVisibleTo(const Schedule& schedule, const TransactionId& t,
+                 const TransactionId& tp) {
+  return FateIndex::Of(schedule).IsVisibleTo(t, tp);
+}
+
+bool IsOrphan(const Schedule& schedule, const TransactionId& t) {
+  return FateIndex::Of(schedule).IsOrphan(t);
+}
+
+bool IsLive(const Schedule& schedule, const TransactionId& t) {
+  bool created = false;
+  for (const Event& e : schedule) {
+    if (e.kind == EventKind::kCreate && e.txn == t) created = true;
+    if (IsReturnEvent(e, t)) return false;
+  }
+  return created;
+}
+
+Schedule Visible(const Schedule& schedule, const TransactionId& t) {
+  const FateIndex idx = FateIndex::Of(schedule);
+  Schedule out;
+  for (const Event& e : schedule) {
+    if (e.kind == EventKind::kInformCommitAt ||
+        e.kind == EventKind::kInformAbortAt) {
+      continue;  // not serial operations; never visible
+    }
+    if (idx.IsVisibleTo(TransactionOf(e), t)) out.push_back(e);
+  }
+  return out;
+}
+
+bool IsCommittedAtTo(const Schedule& schedule, ObjectId x,
+                     const TransactionId& t, const TransactionId& tp) {
+  // Chain of transactions that must be informed-committed, ascending:
+  // T, parent(T), ..., child-of-T'.
+  std::vector<TransactionId> chain;
+  TransactionId cur = t;
+  while (tp.IsProperAncestorOf(cur)) {
+    chain.push_back(cur);
+    cur = cur.Parent();
+  }
+  if (chain.empty()) return true;
+  // Find the chain as a subsequence of INFORM_COMMIT_AT(X) events, in
+  // ascending order (child's INFORM before parent's).
+  size_t next = 0;
+  for (const Event& e : schedule) {
+    if (e.kind == EventKind::kInformCommitAt && e.object == x &&
+        e.txn == chain[next]) {
+      if (++next == chain.size()) return true;
+    }
+  }
+  return false;
+}
+
+bool IsVisibleAtTo(const Schedule& schedule, ObjectId x,
+                   const TransactionId& t, const TransactionId& tp) {
+  return IsCommittedAtTo(schedule, x, t, t.Lca(tp));
+}
+
+bool IsOrphanAt(const Schedule& schedule, ObjectId x,
+                const TransactionId& t) {
+  for (const Event& e : schedule) {
+    if (e.kind == EventKind::kInformAbortAt && e.object == x &&
+        e.txn.IsAncestorOf(t)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Schedule VisibleAtObject(const SystemType& st, const Schedule& schedule,
+                         ObjectId x, const TransactionId& t) {
+  Schedule out;
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    const Event& e = schedule[i];
+    if (!IsBasicObjectEvent(st, e, x)) continue;
+    // Visibility-at-X is judged against the whole sequence (the INFORMs
+    // may come after the access events).
+    if (IsVisibleAtTo(schedule, x, e.txn, t)) out.push_back(e);
+  }
+  return out;
+}
+
+Schedule WriteSubsequence(const SystemType& st, const Schedule& seq) {
+  Schedule out;
+  for (const Event& e : seq) {
+    if (e.kind == EventKind::kRequestCommit && st.IsAccess(e.txn) &&
+        st.Access(e.txn).kind == AccessKind::kWrite) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+Schedule Essence(const SystemType& st, const Schedule& seq) {
+  Schedule out;
+  for (const Event& e : WriteSubsequence(st, seq)) {
+    out.push_back(Event::Create(e.txn));
+    out.push_back(e);
+  }
+  return out;
+}
+
+bool WriteEqual(const SystemType& st, const Schedule& a, const Schedule& b) {
+  return WriteSubsequence(st, a) == WriteSubsequence(st, b);
+}
+
+Status CheckWriteEquivalent(const SystemType& st, const Schedule& a,
+                            const Schedule& b) {
+  // (1) Same event multiset.
+  {
+    Schedule sa = a, sb = b;
+    std::sort(sa.begin(), sa.end());
+    std::sort(sb.begin(), sb.end());
+    if (sa != sb) {
+      return Status::InvalidArgument(
+          "write-equivalence: event multisets differ");
+    }
+  }
+  // (2) Identical projections at every transaction (T0 and internals).
+  std::vector<TransactionId> txns = {TransactionId::Root()};
+  for (const auto& t : st.AllTransactions()) {
+    if (st.IsInternal(t)) txns.push_back(t);
+  }
+  for (const auto& t : txns) {
+    if (ProjectTransaction(a, t) != ProjectTransaction(b, t)) {
+      return Status::InvalidArgument(
+          StrCat("write-equivalence: projections at ", t, " differ"));
+    }
+  }
+  // (3) Write-equal projections at every object.
+  for (ObjectId x = 0; x < st.NumObjects(); ++x) {
+    if (!WriteEqual(st, ProjectBasicObject(st, a, x),
+                    ProjectBasicObject(st, b, x))) {
+      return Status::InvalidArgument(
+          StrCat("write-equivalence: write sequences at X", x, " differ"));
+    }
+  }
+  return Status::OK();
+}
+
+bool WriteEquivalent(const SystemType& st, const Schedule& a,
+                     const Schedule& b) {
+  return CheckWriteEquivalent(st, a, b).ok();
+}
+
+}  // namespace nestedtx

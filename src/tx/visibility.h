@@ -1,0 +1,97 @@
+// Visibility, orphans and write-equivalence — the vocabulary of the
+// correctness condition and its proof.
+//
+//   §3.4: committed-to, visible-to, visible(α,T), live, orphan.
+//   §5.1: committed-at-X, visible-at-X, visible_X(α,T), orphan-at-X,
+//         write(α), essence(β), write-equality.
+//   §6.1: write-equivalence of full schedules.
+//
+// These are defined for arbitrary event sequences (the paper uses the same
+// terms for serial and concurrent schedules).
+#ifndef NESTEDTX_TX_VISIBILITY_H_
+#define NESTEDTX_TX_VISIBILITY_H_
+
+#include <set>
+
+#include "tx/event.h"
+#include "tx/system_type.h"
+#include "tx/transaction_id.h"
+#include "util/status.h"
+
+namespace nestedtx {
+
+/// Precomputed fate sets for one sequence — most visibility questions only
+/// need which transactions have COMMIT / ABORT events.
+struct FateIndex {
+  std::set<TransactionId> committed;  // T with COMMIT(T) in α
+  std::set<TransactionId> aborted;    // T with ABORT(T) in α
+
+  static FateIndex Of(const Schedule& schedule);
+
+  /// T is committed to ancestor T' in α: COMMIT(U) for every U that is an
+  /// ancestor of T and a proper descendant of T'.
+  bool IsCommittedTo(const TransactionId& t, const TransactionId& tp) const;
+
+  /// T is visible to T' in α: T committed to lca(T, T').
+  bool IsVisibleTo(const TransactionId& t, const TransactionId& tp) const;
+
+  /// T is an orphan in α: ABORT(U) for some (reflexive) ancestor U.
+  bool IsOrphan(const TransactionId& t) const;
+};
+
+bool IsCommittedTo(const Schedule& schedule, const TransactionId& t,
+                   const TransactionId& tp);
+bool IsVisibleTo(const Schedule& schedule, const TransactionId& t,
+                 const TransactionId& tp);
+bool IsOrphan(const Schedule& schedule, const TransactionId& t);
+
+/// T is live in α: CREATE(T) occurs and no return (COMMIT/ABORT) for T.
+bool IsLive(const Schedule& schedule, const TransactionId& t);
+
+/// visible(α, T): the subsequence of serial events π whose transaction(π)
+/// is visible to T in α. INFORM events are not serial operations and are
+/// never included.
+Schedule Visible(const Schedule& schedule, const TransactionId& t);
+
+/// §5.1: T (an access to X) is committed at X to ancestor T' in α — α
+/// contains INFORM_COMMIT_AT(X)OF(U) for every U that is an ancestor of T
+/// and proper descendant of T', arranged ascending (child before parent).
+bool IsCommittedAtTo(const Schedule& schedule, ObjectId x,
+                     const TransactionId& t, const TransactionId& tp);
+
+/// §5.1: T visible at X to T' — T committed at X to lca(T, T').
+bool IsVisibleAtTo(const Schedule& schedule, ObjectId x,
+                   const TransactionId& t, const TransactionId& tp);
+
+/// §5.1: T is an orphan at X in α — INFORM_ABORT_AT(X)OF(U) occurs for
+/// some (reflexive) ancestor U of T.
+bool IsOrphanAt(const Schedule& schedule, ObjectId x,
+                const TransactionId& t);
+
+/// visible_X(α, T): subsequence of basic-object-X events (CREATE /
+/// REQUEST_COMMIT of accesses to X) whose access is visible at X to T.
+Schedule VisibleAtObject(const SystemType& st, const Schedule& schedule,
+                         ObjectId x, const TransactionId& t);
+
+/// write(α): subsequence of REQUEST_COMMIT events for write accesses.
+Schedule WriteSubsequence(const SystemType& st, const Schedule& seq);
+
+/// essence(β): write(β) with a CREATE(U) immediately before each
+/// REQUEST_COMMIT(U, v).
+Schedule Essence(const SystemType& st, const Schedule& seq);
+
+/// α, β write-equal: write(α) == write(β).
+bool WriteEqual(const SystemType& st, const Schedule& a, const Schedule& b);
+
+/// §6.1 write-equivalence of full serial-operation sequences:
+/// same event multiset, identical projection at every transaction
+/// (including T0), and write-equal projection at every object.
+/// On failure, the returned status says which condition broke where.
+Status CheckWriteEquivalent(const SystemType& st, const Schedule& a,
+                            const Schedule& b);
+bool WriteEquivalent(const SystemType& st, const Schedule& a,
+                     const Schedule& b);
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_TX_VISIBILITY_H_

@@ -1,0 +1,286 @@
+#include "tx/well_formed.h"
+
+#include "util/strings.h"
+
+namespace nestedtx {
+
+namespace {
+Status Bad(const Event& e, const std::string& why) {
+  return Status::InvalidArgument(StrCat(e, ": ", why));
+}
+}  // namespace
+
+// --------------------------------------------------------------------------
+// Transaction sequences (§3.1).
+// --------------------------------------------------------------------------
+
+Status TransactionWellFormedChecker::Check(const Event& e) const {
+  switch (e.kind) {
+    case EventKind::kCreate:
+      if (e.txn != t_) return Bad(e, "CREATE for a different transaction");
+      if (created_) return Bad(e, "duplicate CREATE");
+      return Status::OK();
+
+    case EventKind::kReportCommit: {
+      if (e.txn.IsRoot() || e.txn.Parent() != t_) {
+        return Bad(e, "REPORT_COMMIT for a non-child");
+      }
+      if (!create_requested_.count(e.txn)) {
+        return Bad(e, "REPORT_COMMIT without prior REQUEST_CREATE");
+      }
+      if (report_aborted_.count(e.txn)) {
+        return Bad(e, "REPORT_COMMIT after REPORT_ABORT for same child");
+      }
+      auto it = report_committed_.find(e.txn);
+      if (it != report_committed_.end() && it->second != e.value) {
+        return Bad(e, "REPORT_COMMIT with conflicting value");
+      }
+      return Status::OK();
+    }
+
+    case EventKind::kReportAbort:
+      if (e.txn.IsRoot() || e.txn.Parent() != t_) {
+        return Bad(e, "REPORT_ABORT for a non-child");
+      }
+      if (!create_requested_.count(e.txn)) {
+        return Bad(e, "REPORT_ABORT without prior REQUEST_CREATE");
+      }
+      if (report_committed_.count(e.txn)) {
+        return Bad(e, "REPORT_ABORT after REPORT_COMMIT for same child");
+      }
+      return Status::OK();
+
+    case EventKind::kRequestCreate:
+      if (e.txn.IsRoot() || e.txn.Parent() != t_) {
+        return Bad(e, "REQUEST_CREATE for a non-child");
+      }
+      if (create_requested_.count(e.txn)) {
+        return Bad(e, "duplicate REQUEST_CREATE");
+      }
+      if (commit_requested_) {
+        return Bad(e, "REQUEST_CREATE after REQUEST_COMMIT");
+      }
+      if (!created_) {
+        return Bad(e, "REQUEST_CREATE before CREATE");
+      }
+      return Status::OK();
+
+    case EventKind::kRequestCommit:
+      if (e.txn != t_) {
+        return Bad(e, "REQUEST_COMMIT for a different transaction");
+      }
+      if (commit_requested_) return Bad(e, "duplicate REQUEST_COMMIT");
+      if (!created_) return Bad(e, "REQUEST_COMMIT before CREATE");
+      return Status::OK();
+
+    default:
+      return Bad(e, "not an operation of a transaction automaton");
+  }
+}
+
+Status TransactionWellFormedChecker::Feed(const Event& e) {
+  RETURN_IF_ERROR(Check(e));
+  switch (e.kind) {
+    case EventKind::kCreate:
+      created_ = true;
+      break;
+    case EventKind::kReportCommit:
+      report_committed_[e.txn] = e.value;
+      break;
+    case EventKind::kReportAbort:
+      report_aborted_.insert(e.txn);
+      break;
+    case EventKind::kRequestCreate:
+      create_requested_.insert(e.txn);
+      break;
+    case EventKind::kRequestCommit:
+      commit_requested_ = true;
+      break;
+    default:
+      break;
+  }
+  return Status::OK();
+}
+
+// --------------------------------------------------------------------------
+// Basic object sequences (§3.2).
+// --------------------------------------------------------------------------
+
+Status BasicObjectWellFormedChecker::Check(const Event& e) const {
+  if (!IsBasicObjectEvent(*st_, e, x_)) {
+    return Bad(e, "not an operation of this basic object");
+  }
+  switch (e.kind) {
+    case EventKind::kCreate:
+      if (created_.count(e.txn)) return Bad(e, "duplicate CREATE");
+      return Status::OK();
+    case EventKind::kRequestCommit:
+      if (responded_.count(e.txn)) {
+        return Bad(e, "duplicate REQUEST_COMMIT");
+      }
+      if (!created_.count(e.txn)) {
+        return Bad(e, "REQUEST_COMMIT before CREATE");
+      }
+      return Status::OK();
+    default:
+      return Bad(e, "not an operation of a basic object");
+  }
+}
+
+Status BasicObjectWellFormedChecker::Feed(const Event& e) {
+  RETURN_IF_ERROR(Check(e));
+  if (e.kind == EventKind::kCreate) {
+    created_.insert(e.txn);
+    pending_.insert(e.txn);
+  } else {
+    responded_.insert(e.txn);
+    pending_.erase(e.txn);
+  }
+  return Status::OK();
+}
+
+// --------------------------------------------------------------------------
+// R/W Locking object sequences (§5.1).
+// --------------------------------------------------------------------------
+
+Status LockingObjectWellFormedChecker::Check(const Event& e) const {
+  if (!IsLockingObjectEvent(*st_, e, x_)) {
+    return Bad(e, "not an operation of this locking object");
+  }
+  switch (e.kind) {
+    case EventKind::kCreate:
+      if (created_.count(e.txn)) return Bad(e, "duplicate CREATE");
+      return Status::OK();
+    case EventKind::kRequestCommit:
+      if (responded_.count(e.txn)) {
+        return Bad(e, "duplicate REQUEST_COMMIT");
+      }
+      if (!created_.count(e.txn)) {
+        return Bad(e, "REQUEST_COMMIT before CREATE");
+      }
+      return Status::OK();
+    case EventKind::kInformCommitAt:
+      if (e.txn.IsRoot()) return Bad(e, "INFORM_COMMIT for T0");
+      if (informed_abort_.count(e.txn)) {
+        return Bad(e, "INFORM_COMMIT after INFORM_ABORT");
+      }
+      if (st_->IsAccess(e.txn) && st_->Access(e.txn).object == x_ &&
+          !responded_.count(e.txn)) {
+        return Bad(e, "INFORM_COMMIT for an access with no REQUEST_COMMIT");
+      }
+      return Status::OK();
+    case EventKind::kInformAbortAt:
+      if (e.txn.IsRoot()) return Bad(e, "INFORM_ABORT for T0");
+      if (informed_commit_.count(e.txn)) {
+        return Bad(e, "INFORM_ABORT after INFORM_COMMIT");
+      }
+      return Status::OK();
+    default:
+      return Bad(e, "not an operation of a locking object");
+  }
+}
+
+Status LockingObjectWellFormedChecker::Feed(const Event& e) {
+  RETURN_IF_ERROR(Check(e));
+  switch (e.kind) {
+    case EventKind::kCreate:
+      created_.insert(e.txn);
+      break;
+    case EventKind::kRequestCommit:
+      responded_.insert(e.txn);
+      break;
+    case EventKind::kInformCommitAt:
+      informed_commit_.insert(e.txn);
+      break;
+    case EventKind::kInformAbortAt:
+      informed_abort_.insert(e.txn);
+      break;
+    default:
+      break;
+  }
+  return Status::OK();
+}
+
+// --------------------------------------------------------------------------
+// Whole-sequence forms.
+// --------------------------------------------------------------------------
+
+Status CheckTransactionWellFormed(const Schedule& seq,
+                                  const TransactionId& t) {
+  TransactionWellFormedChecker checker(t);
+  for (const Event& e : seq) RETURN_IF_ERROR(checker.Feed(e));
+  return Status::OK();
+}
+
+Status CheckBasicObjectWellFormed(const SystemType& st, const Schedule& seq,
+                                  ObjectId x) {
+  BasicObjectWellFormedChecker checker(&st, x);
+  for (const Event& e : seq) RETURN_IF_ERROR(checker.Feed(e));
+  return Status::OK();
+}
+
+Status CheckLockingObjectWellFormed(const SystemType& st,
+                                    const Schedule& seq, ObjectId x) {
+  LockingObjectWellFormedChecker checker(&st, x);
+  for (const Event& e : seq) RETURN_IF_ERROR(checker.Feed(e));
+  return Status::OK();
+}
+
+namespace {
+
+// Projects the full schedule onto every component once, incrementally, and
+// checks each projection. `locking` selects M(X) vs basic-object signatures.
+Status CheckSystemWellFormed(const SystemType& st, const Schedule& schedule,
+                             bool locking) {
+  std::map<TransactionId, TransactionWellFormedChecker> txns;
+  // T0 is a transaction too (it has REQUEST_CREATE/REPORT events).
+  txns.emplace(TransactionId::Root(),
+               TransactionWellFormedChecker(TransactionId::Root()));
+  for (const auto& t : st.AllTransactions()) {
+    if (st.IsInternal(t)) {
+      txns.emplace(t, TransactionWellFormedChecker(t));
+    }
+  }
+  std::vector<BasicObjectWellFormedChecker> basic;
+  std::vector<LockingObjectWellFormedChecker> lock;
+  for (ObjectId x = 0; x < st.NumObjects(); ++x) {
+    basic.emplace_back(&st, x);
+    lock.emplace_back(&st, x);
+  }
+
+  for (const Event& e : schedule) {
+    // Transaction components.
+    for (auto& [t, checker] : txns) {
+      if (IsTransactionEvent(e, t)) RETURN_IF_ERROR(checker.Feed(e));
+    }
+    // Object components.
+    for (ObjectId x = 0; x < st.NumObjects(); ++x) {
+      if (locking) {
+        if (IsLockingObjectEvent(st, e, x)) RETURN_IF_ERROR(lock[x].Feed(e));
+      } else {
+        if (IsBasicObjectEvent(st, e, x)) RETURN_IF_ERROR(basic[x].Feed(e));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CheckSerialWellFormed(const SystemType& st, const Schedule& schedule) {
+  for (const Event& e : schedule) {
+    if (e.kind == EventKind::kInformCommitAt ||
+        e.kind == EventKind::kInformAbortAt) {
+      return Status::InvalidArgument(
+          StrCat(e, ": INFORM events are not serial operations"));
+    }
+  }
+  return CheckSystemWellFormed(st, schedule, /*locking=*/false);
+}
+
+Status CheckConcurrentWellFormed(const SystemType& st,
+                                 const Schedule& schedule) {
+  return CheckSystemWellFormed(st, schedule, /*locking=*/true);
+}
+
+}  // namespace nestedtx

@@ -1,0 +1,118 @@
+// Well-formedness, exactly as defined recursively in the paper:
+//   * for sequences of operations of a transaction T        (§3.1)
+//   * for sequences of operations of a basic object X       (§3.2)
+//   * for sequences of operations of a R/W Locking object   (§5.1)
+// plus the derived notions: a sequence of serial (resp. concurrent)
+// operations is well-formed iff its projection at every transaction and
+// (basic resp. locking) object is well-formed (§3.4, §5.3).
+//
+// Checkers are incremental so automata can preserve well-formedness by
+// consulting them event-by-event, and so property tests can locate the
+// exact violating event.
+#ifndef NESTEDTX_TX_WELL_FORMED_H_
+#define NESTEDTX_TX_WELL_FORMED_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "tx/event.h"
+#include "tx/system_type.h"
+#include "tx/transaction_id.h"
+#include "util/status.h"
+
+namespace nestedtx {
+
+/// Incremental checker for sequences of operations of transaction T (§3.1).
+class TransactionWellFormedChecker {
+ public:
+  explicit TransactionWellFormedChecker(TransactionId t) : t_(std::move(t)) {}
+
+  /// Feed the next event (must satisfy IsTransactionEvent(e, T)).
+  /// Returns OK and updates state if the extended sequence stays
+  /// well-formed; returns InvalidArgument (state unchanged) otherwise.
+  Status Feed(const Event& e);
+
+  /// Would `e` keep the sequence well-formed? (No state change.)
+  bool Allows(const Event& e) const { return Check(e).ok(); }
+
+  bool created() const { return created_; }
+  bool commit_requested() const { return commit_requested_; }
+  const std::set<TransactionId>& create_requested() const {
+    return create_requested_;
+  }
+
+ private:
+  Status Check(const Event& e) const;
+
+  TransactionId t_;
+  bool created_ = false;
+  bool commit_requested_ = false;
+  std::set<TransactionId> create_requested_;
+  std::map<TransactionId, Value> report_committed_;  // child -> value
+  std::set<TransactionId> report_aborted_;
+};
+
+/// Incremental checker for sequences of operations of basic object X (§3.2).
+class BasicObjectWellFormedChecker {
+ public:
+  BasicObjectWellFormedChecker(const SystemType* st, ObjectId x)
+      : st_(st), x_(x) {}
+
+  Status Feed(const Event& e);
+  bool Allows(const Event& e) const { return Check(e).ok(); }
+
+  /// Accesses created but not yet responded to (the paper's "pending").
+  const std::set<TransactionId>& pending() const { return pending_; }
+  const std::set<TransactionId>& created() const { return created_; }
+
+ private:
+  Status Check(const Event& e) const;
+
+  const SystemType* st_;
+  ObjectId x_;
+  std::set<TransactionId> created_;
+  std::set<TransactionId> responded_;
+  std::set<TransactionId> pending_;
+};
+
+/// Incremental checker for sequences of operations of M(X) (§5.1).
+class LockingObjectWellFormedChecker {
+ public:
+  LockingObjectWellFormedChecker(const SystemType* st, ObjectId x)
+      : st_(st), x_(x) {}
+
+  Status Feed(const Event& e);
+  bool Allows(const Event& e) const { return Check(e).ok(); }
+
+ private:
+  Status Check(const Event& e) const;
+
+  const SystemType* st_;
+  ObjectId x_;
+  std::set<TransactionId> created_;
+  std::set<TransactionId> responded_;
+  std::set<TransactionId> informed_commit_;
+  std::set<TransactionId> informed_abort_;
+};
+
+/// Whole-sequence forms.
+Status CheckTransactionWellFormed(const Schedule& seq,
+                                  const TransactionId& t);
+Status CheckBasicObjectWellFormed(const SystemType& st, const Schedule& seq,
+                                  ObjectId x);
+Status CheckLockingObjectWellFormed(const SystemType& st,
+                                    const Schedule& seq, ObjectId x);
+
+/// Serial well-formedness of a full schedule: projection at every internal
+/// transaction and every basic object is well-formed (§3.4).
+Status CheckSerialWellFormed(const SystemType& st, const Schedule& schedule);
+
+/// Concurrent well-formedness: projection at every internal transaction
+/// and every R/W Locking object is well-formed (§5.3).
+Status CheckConcurrentWellFormed(const SystemType& st,
+                                 const Schedule& schedule);
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_TX_WELL_FORMED_H_

@@ -1,0 +1,40 @@
+// Minimal leveled logger. Off by default above kWarn so tests stay quiet;
+// benches and examples can raise verbosity via SetLogLevel.
+#ifndef NESTEDTX_UTIL_LOGGING_H_
+#define NESTEDTX_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace nestedtx {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Thread-safe write of one line to stderr (with level prefix).
+void LogLine(LogLevel level, const std::string& message);
+
+namespace internal {
+class LogMessage {
+ public:
+  LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() {
+    if (level_ >= GetLogLevel()) LogLine(level_, stream_.str());
+  }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define NTX_LOG(level) \
+  ::nestedtx::internal::LogMessage(::nestedtx::LogLevel::level).stream()
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_UTIL_LOGGING_H_

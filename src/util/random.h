@@ -1,0 +1,67 @@
+// Deterministic, seedable randomness for the model layer (reproducible
+// executions of nondeterministic automata) and workload generation
+// (uniform / bernoulli / zipfian key popularity for contention sweeps).
+#ifndef NESTEDTX_UTIL_RANDOM_H_
+#define NESTEDTX_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nestedtx {
+
+/// xoshiro256** PRNG. Small, fast, and fully deterministic across
+/// platforms given the same seed — std::mt19937 would also do, but its
+/// distribution adapters are not reproducible across standard libraries.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive; requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Uniform real in [0,1).
+  double NextDouble();
+
+  /// Pick an index in [0, weights.size()) proportionally to weights.
+  /// Returns 0 for empty / all-zero weights.
+  size_t Weighted(const std::vector<double>& weights);
+
+  /// Derive an independent child generator (for per-thread streams).
+  Rng Split();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipfian generator over [0, n): popularity skew for hotspot workloads.
+/// theta = 0 is uniform; theta ~ 0.99 is the YCSB default "hot" skew.
+class Zipf {
+ public:
+  Zipf(uint64_t n, double theta);
+
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_UTIL_RANDOM_H_

@@ -1,0 +1,150 @@
+// Status and Result<T>: error handling without exceptions, in the style of
+// RocksDB/Arrow. Core library paths return Status (or Result<T>) and never
+// throw; callers are expected to check `ok()` before consuming a value.
+#ifndef NESTEDTX_UTIL_STATUS_H_
+#define NESTEDTX_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace nestedtx {
+
+/// A lightweight success/error indicator with an error code and message.
+///
+/// The code taxonomy mirrors the situations a nested-transaction engine
+/// actually produces: `kAborted` for transactions killed by the system
+/// (deadlock victims, orphaned subtrees), `kDeadlock` when the caller is the
+/// chosen victim of a wait-for cycle, `kBusy` for non-blocking lock attempts
+/// that would conflict, `kTimedOut` for bounded waits.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kFailedPrecondition,
+    kAborted,
+    kDeadlock,
+    kBusy,
+    kTimedOut,
+    kInternal,
+  };
+
+  /// Default-constructed Status is success.
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(Code::kDeadlock, std::move(msg));
+  }
+  static Status Busy(std::string msg) {
+    return Status(Code::kBusy, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(Code::kTimedOut, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsDeadlock() const { return code_ == Code::kDeadlock; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsTimedOut() const { return code_ == Code::kTimedOut; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string, "OK" on success.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Result<T>: either a value or an error Status. Accessing the value of an
+/// error Result is a programming error (asserts in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return 42;`
+  Result(T value) : value_(std::move(value)) {}
+  /// Implicit from error status: `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Value if ok, else `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagate errors: `RETURN_IF_ERROR(DoThing());`
+#define RETURN_IF_ERROR(expr)                \
+  do {                                       \
+    ::nestedtx::Status _st = (expr);         \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_UTIL_STATUS_H_

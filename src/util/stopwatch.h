@@ -1,0 +1,35 @@
+// Wall-clock timing for benches and the engine's timeout paths.
+#ifndef NESTEDTX_UTIL_STOPWATCH_H_
+#define NESTEDTX_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace nestedtx {
+
+/// Monotonic stopwatch: started at construction, restartable.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  uint64_t ElapsedMicros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_UTIL_STOPWATCH_H_

@@ -1,0 +1,39 @@
+// Small string helpers (gcc 12 has no std::format).
+#ifndef NESTEDTX_UTIL_STRINGS_H_
+#define NESTEDTX_UTIL_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace nestedtx {
+
+/// Concatenate stream-printable arguments into one string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream oss;
+  // void-cast: with an empty pack the fold collapses to just `oss`,
+  // which would otherwise trip -Wunused-value.
+  (void)(oss << ... << args);
+  return oss.str();
+}
+
+/// Join elements with a separator, using operator<< for each element.
+template <typename Container>
+std::string Join(const Container& items, const std::string& sep) {
+  std::ostringstream oss;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) oss << sep;
+    first = false;
+    oss << item;
+  }
+  return oss.str();
+}
+
+/// Split on a single character; keeps empty tokens.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_UTIL_STRINGS_H_

@@ -1,0 +1,197 @@
+// The I/O automata framework: composition semantics, output ownership,
+// executor determinism and caps, replay.
+#include <gtest/gtest.h>
+
+#include "automata/executor.h"
+#include "automata/system.h"
+#include "explore/random_walk.h"
+#include "explore/workload.h"
+#include "locking/locking_system.h"
+#include "serial/serial_system.h"
+
+namespace nestedtx {
+namespace {
+
+// A minimal automaton for composition tests: emits COMMIT(id) once when
+// poked by an input CREATE(id); accepts any input of its id.
+class PingAutomaton : public Automaton {
+ public:
+  PingAutomaton(TransactionId id, bool owns_commit)
+      : id_(std::move(id)), owns_commit_(owns_commit) {}
+
+  std::string name() const override { return "ping-" + id_.ToString(); }
+  bool IsOperation(const Event& e) const override { return e.txn == id_; }
+  bool IsOutput(const Event& e) const override {
+    return owns_commit_ && e.kind == EventKind::kCommit && e.txn == id_;
+  }
+  std::vector<Event> EnabledOutputs() const override {
+    if (owns_commit_ && poked_ && !done_) {
+      return {Event::Commit(id_)};
+    }
+    return {};
+  }
+  Status Apply(const Event& e) override {
+    if (e.kind == EventKind::kCreate) poked_ = true;
+    if (e.kind == EventKind::kCommit) {
+      if (owns_commit_ && !poked_) {
+        return Status::FailedPrecondition("not poked");
+      }
+      done_ = true;
+      saw_commit_ = true;
+    }
+    return Status::OK();
+  }
+
+  bool saw_commit() const { return saw_commit_; }
+
+ private:
+  TransactionId id_;
+  bool owns_commit_;
+  bool poked_ = false;
+  bool done_ = false;
+  bool saw_commit_ = false;
+};
+
+// Emits CREATE(id) once, unconditionally.
+class CreatorAutomaton : public Automaton {
+ public:
+  explicit CreatorAutomaton(TransactionId id) : id_(std::move(id)) {}
+  std::string name() const override { return "creator"; }
+  bool IsOperation(const Event& e) const override {
+    return e.kind == EventKind::kCreate && e.txn == id_;
+  }
+  bool IsOutput(const Event& e) const override { return IsOperation(e); }
+  std::vector<Event> EnabledOutputs() const override {
+    if (fired_) return {};
+    return {Event::Create(id_)};
+  }
+  Status Apply(const Event& e) override {
+    (void)e;
+    if (fired_) return Status::FailedPrecondition("already fired");
+    fired_ = true;
+    return Status::OK();
+  }
+
+ private:
+  TransactionId id_;
+  bool fired_ = false;
+};
+
+TEST(SystemTest, SharedEventDeliveredToAllComponents) {
+  const TransactionId id = TransactionId::Root().Child(0);
+  System sys;
+  sys.Add(std::make_unique<CreatorAutomaton>(id));
+  auto owner = std::make_unique<PingAutomaton>(id, /*owns_commit=*/true);
+  auto observer = std::make_unique<PingAutomaton>(id, /*owns_commit=*/false);
+  PingAutomaton* observer_ptr = observer.get();
+  sys.Add(std::move(owner));
+  sys.Add(std::move(observer));
+
+  ASSERT_TRUE(sys.Apply(Event::Create(id)).ok());
+  ASSERT_TRUE(sys.Apply(Event::Commit(id)).ok());
+  // The observer shares the COMMIT operation and must have seen it.
+  EXPECT_TRUE(observer_ptr->saw_commit());
+  ASSERT_EQ(sys.schedule().size(), 2u);
+}
+
+TEST(SystemTest, EventWithNoOwnerRejected) {
+  System sys;
+  sys.Add(std::make_unique<PingAutomaton>(TransactionId::Root().Child(0),
+                                          /*owns_commit=*/false));
+  Status s = sys.Apply(Event::Commit(TransactionId::Root().Child(0)));
+  EXPECT_TRUE(s.IsInvalidArgument());
+}
+
+TEST(SystemTest, NotEnabledOutputRejectedWithoutSideEffects) {
+  const TransactionId id = TransactionId::Root().Child(0);
+  System sys;
+  sys.Add(std::make_unique<PingAutomaton>(id, /*owns_commit=*/true));
+  // COMMIT before the poke: owner's precondition fails; schedule empty.
+  EXPECT_TRUE(sys.Apply(Event::Commit(id)).IsFailedPrecondition());
+  EXPECT_TRUE(sys.schedule().empty());
+}
+
+TEST(SystemTest, FindLocatesComponentByName) {
+  const TransactionId id = TransactionId::Root().Child(0);
+  System sys;
+  sys.Add(std::make_unique<CreatorAutomaton>(id));
+  EXPECT_NE(sys.Find("creator"), nullptr);
+  EXPECT_EQ(sys.Find("nonexistent"), nullptr);
+}
+
+TEST(ExecutorTest, DeterministicForSameSeed) {
+  SystemType st = MakeCanonicalSystemType();
+  auto a = RandomLockingRun(st, 12345);
+  auto b = RandomLockingRun(st, 12345);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(ExecutorTest, DifferentSeedsUsuallyDiffer) {
+  SystemType st = MakeCanonicalSystemType();
+  auto a = RandomLockingRun(st, 1);
+  auto b = RandomLockingRun(st, 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+}
+
+TEST(ExecutorTest, MaxStepsCapRespected) {
+  SystemType st = MakeCanonicalSystemType();
+  auto sys = MakeLockingSystem(st, {});
+  ASSERT_TRUE(sys.ok());
+  ExecutorOptions opts;
+  opts.max_steps = 3;
+  auto r = RunToQuiescence(**sys, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->steps, 3u);
+  EXPECT_EQ((*sys)->schedule().size(), 3u);
+}
+
+TEST(ExecutorTest, QuiescenceReported) {
+  SystemType st = MakeCanonicalSystemType();
+  LockingSystemOptions sys_opts;
+  sys_opts.scheduler.allow_spontaneous_aborts = false;
+  auto sys = MakeLockingSystem(st, sys_opts);
+  ASSERT_TRUE(sys.ok());
+  auto r = RunToQuiescence(**sys, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->quiescent);
+  EXPECT_TRUE((*sys)->EnabledOutputs().empty());
+}
+
+TEST(ExecutorTest, ZeroAbortWeightSuppressesAborts) {
+  SystemType st = MakeCanonicalSystemType();
+  auto sys = MakeLockingSystem(st, {});  // scheduler CAN abort
+  ASSERT_TRUE(sys.ok());
+  ExecutorOptions opts;
+  opts.abort_weight = 0.0;
+  auto r = RunToQuiescence(**sys, opts);
+  ASSERT_TRUE(r.ok());
+  for (const Event& e : (*sys)->schedule()) {
+    EXPECT_NE(e.kind, EventKind::kAbort);
+  }
+}
+
+TEST(ExecutorTest, ReplayReproducesSchedule) {
+  SystemType st = MakeCanonicalSystemType();
+  auto run = RandomLockingRun(st, 77);
+  ASSERT_TRUE(run.ok());
+  auto sys = MakeLockingSystem(st, {});
+  ASSERT_TRUE(sys.ok());
+  ASSERT_TRUE(Replay(**sys, *run).ok());
+  EXPECT_EQ((*sys)->schedule(), *run);
+}
+
+TEST(ExecutorTest, ReplayRejectsInvalidSequence) {
+  SystemType st = MakeCanonicalSystemType();
+  auto sys = MakeLockingSystem(st, {});
+  ASSERT_TRUE(sys.ok());
+  // COMMIT of an un-requested transaction cannot be replayed.
+  Schedule bogus = {Event::Commit(TransactionId::Root().Child(0))};
+  EXPECT_FALSE(Replay(**sys, bogus).ok());
+}
+
+}  // namespace
+}  // namespace nestedtx

@@ -1,0 +1,207 @@
+// Adversarial validation of the checker itself: take correct concurrent
+// schedules and apply targeted corruptions — each mutation models a
+// specific implementation bug (lost update, broken lock inheritance,
+// premature grant, wrong value, torn report). The checker must reject
+// every corrupted schedule it classifies as checkable; a checker that
+// only ever says "correct" proves nothing.
+#include <gtest/gtest.h>
+
+#include "checker/invariants.h"
+#include "checker/serial_correctness.h"
+#include "explore/random_walk.h"
+#include "explore/workload.h"
+#include "serial/data_type.h"
+#include "tx/visibility.h"
+#include "tx/well_formed.h"
+
+namespace nestedtx {
+namespace {
+
+// A run of the canonical system with no aborts (deterministic prey for
+// the mutations below).
+Schedule CleanRun(const SystemType& st, uint64_t seed) {
+  LockingSystemOptions sys;
+  sys.scheduler.allow_spontaneous_aborts = false;
+  auto run = RandomLockingRun(st, seed, sys);
+  EXPECT_TRUE(run.ok());
+  return *run;
+}
+
+// The full verdict on a (possibly corrupted) schedule: well-formedness
+// plus serial correctness for all. Mutants may break either; both count
+// as rejection.
+bool Accepted(const SystemType& st, const Schedule& alpha) {
+  if (!CheckConcurrentWellFormed(st, alpha).ok()) return false;
+  return CheckSeriallyCorrectForAll(st, alpha, {}).ok();
+}
+
+class CheckerMutationTest : public ::testing::Test {
+ protected:
+  CheckerMutationTest() : st_(MakeCanonicalSystemType()) {}
+  SystemType st_;
+};
+
+TEST_F(CheckerMutationTest, SanityCleanRunsAccepted) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    EXPECT_TRUE(Accepted(st_, CleanRun(st_, seed))) << seed;
+  }
+}
+
+TEST_F(CheckerMutationTest, WrongAccessValueRejected) {
+  // Bug model: torn read / wrong version surfaced.
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Schedule alpha = CleanRun(st_, seed);
+    bool mutated = false;
+    for (Event& e : alpha) {
+      if (e.kind == EventKind::kRequestCommit && st_.IsAccess(e.txn)) {
+        e.value += 1000;  // a value no serial execution produces
+        mutated = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(mutated);
+    EXPECT_FALSE(Accepted(st_, alpha)) << "seed " << seed;
+  }
+}
+
+TEST_F(CheckerMutationTest, SwappedConflictingWritesRejected) {
+  // Bug model: write lock not honoured — two writes to one object swap.
+  // Build a type with two conflicting register writes (values depend on
+  // order), run it, then swap the REQUEST_COMMIT events.
+  SystemTypeBuilder b;
+  const ObjectId x = b.AddObject("x", "register", 0);
+  const TransactionId t1 = b.AddInternal(TransactionId::Root());
+  b.AddAccess(t1, x, AccessKind::kWrite, {ops::kWrite, 1});
+  const TransactionId t2 = b.AddInternal(TransactionId::Root());
+  b.AddAccess(t2, x, AccessKind::kWrite, {ops::kWrite, 2});
+  SystemType st = b.Build();
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Schedule alpha = CleanRun(st, seed);
+    // Find the two write REQUEST_COMMITs and swap them wholesale (values
+    // travel with the events, so the resulting object order is one no
+    // locked execution could produce).
+    size_t first = SIZE_MAX, second = SIZE_MAX;
+    for (size_t i = 0; i < alpha.size(); ++i) {
+      if (alpha[i].kind == EventKind::kRequestCommit &&
+          st.IsAccess(alpha[i].txn)) {
+        if (first == SIZE_MAX) {
+          first = i;
+        } else {
+          second = i;
+          break;
+        }
+      }
+    }
+    ASSERT_NE(second, SIZE_MAX);
+    std::swap(alpha[first], alpha[second]);
+    EXPECT_FALSE(Accepted(st, alpha)) << "seed " << seed;
+  }
+}
+
+TEST_F(CheckerMutationTest, DroppedCommitRejected) {
+  // Bug model: a commit acknowledged upward but never performed.
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Schedule alpha = CleanRun(st_, seed);
+    Schedule mutated;
+    bool dropped = false;
+    for (const Event& e : alpha) {
+      if (!dropped && e.kind == EventKind::kCommit && !st_.IsAccess(e.txn)) {
+        dropped = true;  // drop COMMIT but keep the REPORT that follows
+        continue;
+      }
+      mutated.push_back(e);
+    }
+    ASSERT_TRUE(dropped);
+    EXPECT_FALSE(Accepted(st_, mutated)) << "seed " << seed;
+  }
+}
+
+TEST_F(CheckerMutationTest, ConflictingReportValueRejected) {
+  // Bug model: the scheduler reports a different value than requested.
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Schedule alpha = CleanRun(st_, seed);
+    bool mutated = false;
+    for (Event& e : alpha) {
+      if (e.kind == EventKind::kReportCommit) {
+        e.value += 7;
+        mutated = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(mutated);
+    EXPECT_FALSE(Accepted(st_, alpha)) << "seed " << seed;
+  }
+}
+
+TEST_F(CheckerMutationTest, DuplicateCreateRejected) {
+  // Bug model: double delivery of an invocation.
+  Schedule alpha = CleanRun(st_, 1);
+  for (size_t i = 0; i < alpha.size(); ++i) {
+    if (alpha[i].kind == EventKind::kCreate) {
+      alpha.insert(alpha.begin() + i + 1, alpha[i]);
+      break;
+    }
+  }
+  EXPECT_FALSE(Accepted(st_, alpha));
+}
+
+TEST_F(CheckerMutationTest, DirtyReadRejected) {
+  // Bug model: a read granted against an uncommitted writer's version,
+  // after which the writer ABORTS — the committed reader then observed a
+  // value no serial execution produces. (A read that merely textually
+  // precedes the write it observed, with compatible commit orders, is
+  // still serializable — the checker correctly accepts that; abort is
+  // what makes the observation unserializable.)
+  SystemTypeBuilder b;
+  const ObjectId x = b.AddObject("x", "counter", 0);
+  const TransactionId t1 = b.AddInternal(TransactionId::Root());
+  const TransactionId w = b.AddAccess(t1, x, AccessKind::kWrite,
+                                      {ops::kAdd, 5});
+  const TransactionId t2 = b.AddInternal(TransactionId::Root());
+  const TransactionId r = b.AddAccess(t2, x, AccessKind::kRead,
+                                      {ops::kRead, 0});
+  SystemType st = b.Build();
+  const TransactionId root = TransactionId::Root();
+  Schedule alpha = {
+      Event::Create(root),
+      Event::RequestCreate(t1),
+      Event::RequestCreate(t2),
+      Event::Create(t1),
+      Event::Create(t2),
+      Event::RequestCreate(w),
+      Event::Create(w),
+      Event::RequestCommit(w, 5),
+      Event::Commit(w),
+      Event::InformCommitAt(0, w),
+      Event::RequestCreate(r),
+      Event::Create(r),
+      Event::RequestCommit(r, 5),  // dirty: observes t1's uncommitted 5
+      Event::Commit(r),
+      Event::ReportCommit(r, 5),
+      Event::RequestCommit(t2, 5),
+      Event::Commit(t2),           // reader commits...
+      Event::Abort(t1),            // ...writer aborts
+      Event::InformAbortAt(0, t1),
+  };
+  EXPECT_FALSE(Accepted(st, alpha));
+}
+
+TEST_F(CheckerMutationTest, ForgedInformCommitRejected) {
+  // Bug model: an object told a transaction committed when it aborted.
+  Schedule alpha;
+  // Hand-build: T0.0 created, aborted — then a forged INFORM_COMMIT.
+  const TransactionId t = TransactionId::Root().Child(0);
+  alpha.push_back(Event::Create(TransactionId::Root()));
+  alpha.push_back(Event::RequestCreate(t));
+  alpha.push_back(Event::Create(t));
+  alpha.push_back(Event::Abort(t));
+  alpha.push_back(Event::InformCommitAt(0, t));
+  // There is no INFORM_ABORT in the sequence, so per-object
+  // well-formedness alone passes; scheduler discipline (INFORM_COMMIT
+  // requires a prior COMMIT) is what catches the forgery.
+  SystemType st = MakeCanonicalSystemType();
+  EXPECT_FALSE(CheckSchedulerDiscipline(st, alpha).ok());
+}
+
+}  // namespace
+}  // namespace nestedtx

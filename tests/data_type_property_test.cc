@@ -1,0 +1,110 @@
+// Parameterized property sweep over every built-in data type: read-only
+// classification is truthful (read ops never change state; non-read ops
+// are honestly flagged), determinism, and the §4.3 transparency of reads
+// hold for arbitrary random states and arguments.
+#include <gtest/gtest.h>
+
+#include "serial/data_type.h"
+#include "util/random.h"
+
+namespace nestedtx {
+namespace {
+
+struct DataTypeCase {
+  std::string name;
+  std::vector<uint32_t> codes;  // every op code the type understands
+};
+
+void PrintTo(const DataTypeCase& c, std::ostream* os) { *os << c.name; }
+
+class DataTypePropertyTest : public ::testing::TestWithParam<DataTypeCase> {
+};
+
+TEST_P(DataTypePropertyTest, TypeIsRegistered) {
+  EXPECT_NE(FindDataType(GetParam().name), nullptr);
+}
+
+TEST_P(DataTypePropertyTest, ReadOnlyOpsNeverMutate) {
+  const DataType* dt = FindDataType(GetParam().name);
+  ASSERT_NE(dt, nullptr);
+  Rng rng(7);
+  for (uint32_t code : GetParam().codes) {
+    for (int trial = 0; trial < 200; ++trial) {
+      OpDescriptor op{code, rng.UniformRange(-100, 100)};
+      const Value state = rng.UniformRange(-1000, 1000);
+      auto [next, value] = dt->Apply(state, op);
+      (void)value;
+      if (dt->IsReadOnly(op)) {
+        EXPECT_EQ(next, state)
+            << GetParam().name << " op " << code << " state " << state;
+      }
+    }
+  }
+}
+
+TEST_P(DataTypePropertyTest, NonReadOnlyOpsCanMutate) {
+  // "Honestly flagged": every op NOT marked read-only changes the state
+  // for at least one (state, arg) pair — otherwise it should be marked
+  // read-only and reads through it would wrongly serialize.
+  const DataType* dt = FindDataType(GetParam().name);
+  ASSERT_NE(dt, nullptr);
+  Rng rng(13);
+  for (uint32_t code : GetParam().codes) {
+    OpDescriptor probe{code, 1};
+    if (dt->IsReadOnly(probe)) continue;
+    bool mutates = false;
+    for (int trial = 0; trial < 500 && !mutates; ++trial) {
+      OpDescriptor op{code, rng.UniformRange(-50, 50)};
+      const Value state = rng.UniformRange(-100, 100);
+      mutates = dt->Apply(state, op).first != state;
+    }
+    EXPECT_TRUE(mutates) << GetParam().name << " op " << code
+                         << " is flagged mutating but never mutates";
+  }
+}
+
+TEST_P(DataTypePropertyTest, ApplyIsDeterministic) {
+  const DataType* dt = FindDataType(GetParam().name);
+  ASSERT_NE(dt, nullptr);
+  Rng rng(23);
+  for (uint32_t code : GetParam().codes) {
+    for (int trial = 0; trial < 100; ++trial) {
+      OpDescriptor op{code, rng.UniformRange(-100, 100)};
+      const Value state = rng.UniformRange(-1000, 1000);
+      auto a = dt->Apply(state, op);
+      auto b = dt->Apply(state, op);
+      EXPECT_EQ(a, b);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, DataTypePropertyTest,
+    ::testing::Values(DataTypeCase{"register", {0, 1}},
+                      DataTypeCase{"counter", {0, 1}},
+                      DataTypeCase{"account", {0, 1, 2}},
+                      DataTypeCase{"set64", {0, 1, 2}},
+                      DataTypeCase{"cell", {0, 1, 2, 3}}),
+    [](const ::testing::TestParamInfo<DataTypeCase>& info) {
+      return info.param.name;
+    });
+
+TEST(CellTypeTest, AbsentSemantics) {
+  const DataType* dt = FindDataType("cell");
+  ASSERT_NE(dt, nullptr);
+  // Reading an absent cell returns absent, unchanged.
+  auto [s1, v1] = dt->Apply(kAbsentValue, {ops::kRead, 0});
+  EXPECT_EQ(s1, kAbsentValue);
+  EXPECT_EQ(v1, kAbsentValue);
+  // Adding to an absent cell starts from 0.
+  auto [s2, v2] = dt->Apply(kAbsentValue, {ops::kCellAdd, 4});
+  EXPECT_EQ(s2, 4);
+  EXPECT_EQ(v2, 4);
+  // Deleting makes it absent again.
+  auto [s3, v3] = dt->Apply(4, {ops::kCellDelete, 0});
+  EXPECT_EQ(s3, kAbsentValue);
+  EXPECT_EQ(v3, kAbsentValue);
+}
+
+}  // namespace
+}  // namespace nestedtx

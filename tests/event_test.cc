@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "explore/workload.h"
+#include "tx/event.h"
+
+namespace nestedtx {
+namespace {
+
+TransactionId T(std::initializer_list<uint32_t> path) {
+  return TransactionId(std::vector<uint32_t>(path));
+}
+
+TEST(EventTest, ToStringForms) {
+  EXPECT_EQ(Event::Create(T({1})).ToString(), "CREATE(T0.1)");
+  EXPECT_EQ(Event::RequestCommit(T({1}), 42).ToString(),
+            "REQUEST_COMMIT(T0.1,42)");
+  EXPECT_EQ(Event::InformAbortAt(3, T({2})).ToString(),
+            "INFORM_ABORT_AT(X3)OF(T0.2)");
+}
+
+TEST(EventTest, TransactionOfOwnEvents) {
+  EXPECT_EQ(TransactionOf(Event::Create(T({1}))), T({1}));
+  EXPECT_EQ(TransactionOf(Event::RequestCommit(T({1}), 0)), T({1}));
+}
+
+TEST(EventTest, TransactionOfParentEvents) {
+  // REQUEST_CREATE(T'), COMMIT(T'), ABORT(T'), REPORT_* belong to parent.
+  EXPECT_EQ(TransactionOf(Event::RequestCreate(T({1, 2}))), T({1}));
+  EXPECT_EQ(TransactionOf(Event::Commit(T({1, 2}))), T({1}));
+  EXPECT_EQ(TransactionOf(Event::Abort(T({1}))), TransactionId::Root());
+  EXPECT_EQ(TransactionOf(Event::ReportCommit(T({1, 2}), 5)), T({1}));
+  EXPECT_EQ(TransactionOf(Event::ReportAbort(T({1, 2}))), T({1}));
+}
+
+TEST(EventTest, IsTransactionEventSignature) {
+  const TransactionId t = T({1});
+  EXPECT_TRUE(IsTransactionEvent(Event::Create(t), t));
+  EXPECT_TRUE(IsTransactionEvent(Event::RequestCommit(t, 0), t));
+  EXPECT_TRUE(IsTransactionEvent(Event::RequestCreate(t.Child(0)), t));
+  EXPECT_TRUE(IsTransactionEvent(Event::ReportCommit(t.Child(0), 1), t));
+  EXPECT_TRUE(IsTransactionEvent(Event::ReportAbort(t.Child(0)), t));
+  // COMMIT/ABORT are scheduler-internal, not transaction operations.
+  EXPECT_FALSE(IsTransactionEvent(Event::Commit(t.Child(0)), t));
+  EXPECT_FALSE(IsTransactionEvent(Event::Abort(t.Child(0)), t));
+  // Events of other transactions.
+  EXPECT_FALSE(IsTransactionEvent(Event::Create(t.Child(0)), t));
+  EXPECT_FALSE(IsTransactionEvent(Event::RequestCreate(t), t));
+}
+
+TEST(EventTest, ObjectEventClassification) {
+  SystemType st = MakeCanonicalSystemType();
+  // t1's children: [read X0, add X0].
+  const TransactionId read_x0 = TransactionId::Root().Child(0).Child(0);
+  ASSERT_TRUE(st.IsAccess(read_x0));
+  EXPECT_TRUE(IsBasicObjectEvent(st, Event::Create(read_x0), 0));
+  EXPECT_FALSE(IsBasicObjectEvent(st, Event::Create(read_x0), 1));
+  EXPECT_TRUE(
+      IsBasicObjectEvent(st, Event::RequestCommit(read_x0, 0), 0));
+  // Internal transactions' CREATEs are not object events.
+  EXPECT_FALSE(
+      IsBasicObjectEvent(st, Event::Create(TransactionId::Root().Child(0)), 0));
+  // INFORMs are locking-object events only.
+  EXPECT_FALSE(IsBasicObjectEvent(st, Event::InformCommitAt(0, read_x0), 0));
+  EXPECT_TRUE(IsLockingObjectEvent(st, Event::InformCommitAt(0, read_x0), 0));
+  EXPECT_FALSE(IsLockingObjectEvent(st, Event::InformCommitAt(1, read_x0), 0));
+}
+
+TEST(EventTest, ProjectTransaction) {
+  const TransactionId t = T({0});
+  Schedule s = {
+      Event::Create(t),
+      Event::RequestCreate(t.Child(0)),
+      Event::Create(t.Child(0)),          // belongs to child/object
+      Event::Commit(t.Child(0)),          // scheduler-internal
+      Event::ReportCommit(t.Child(0), 3),
+      Event::RequestCommit(t, 3),
+  };
+  Schedule proj = ProjectTransaction(s, t);
+  ASSERT_EQ(proj.size(), 4u);
+  EXPECT_EQ(proj[0].kind, EventKind::kCreate);
+  EXPECT_EQ(proj[1].kind, EventKind::kRequestCreate);
+  EXPECT_EQ(proj[2].kind, EventKind::kReportCommit);
+  EXPECT_EQ(proj[3].kind, EventKind::kRequestCommit);
+}
+
+TEST(EventTest, ProjectObjects) {
+  SystemType st = MakeCanonicalSystemType();
+  const TransactionId a_x0 = TransactionId::Root().Child(0).Child(0);
+  const TransactionId a_x1 =
+      TransactionId::Root().Child(1).Child(0).Child(0);
+  ASSERT_EQ(st.Access(a_x1).object, 1u);
+  Schedule s = {
+      Event::Create(a_x0),
+      Event::Create(a_x1),
+      Event::RequestCommit(a_x1, 0),
+      Event::InformCommitAt(1, a_x1),
+      Event::InformAbortAt(0, TransactionId::Root().Child(2)),
+  };
+  EXPECT_EQ(ProjectBasicObject(st, s, 0).size(), 1u);
+  EXPECT_EQ(ProjectBasicObject(st, s, 1).size(), 2u);
+  EXPECT_EQ(ProjectLockingObject(st, s, 1).size(), 3u);
+  EXPECT_EQ(ProjectLockingObject(st, s, 0).size(), 2u);
+}
+
+TEST(EventTest, ReturnAndReportPredicates) {
+  const TransactionId t = T({2});
+  EXPECT_TRUE(IsReturnEvent(Event::Commit(t), t));
+  EXPECT_TRUE(IsReturnEvent(Event::Abort(t), t));
+  EXPECT_FALSE(IsReturnEvent(Event::Commit(t.Child(0)), t));
+  EXPECT_FALSE(IsReturnEvent(Event::ReportCommit(t, 0), t));
+  EXPECT_TRUE(IsReportEvent(Event::ReportCommit(t, 0), t));
+  EXPECT_TRUE(IsReportEvent(Event::ReportAbort(t), t));
+  EXPECT_FALSE(IsReportEvent(Event::Create(t), t));
+}
+
+TEST(EventTest, EqualityAndOrdering) {
+  Event a = Event::Create(T({1}));
+  Event b = Event::Create(T({1}));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, Event::Create(T({2})));
+  EXPECT_NE(Event::RequestCommit(T({1}), 1), Event::RequestCommit(T({1}), 2));
+  EXPECT_LT(Event::Create(T({1})), Event::RequestCreate(T({1})));
+}
+
+}  // namespace
+}  // namespace nestedtx

@@ -1,0 +1,204 @@
+// Small-scope exhaustive validation: enumerate reachable schedules of
+// tiny R/W Locking systems and check Theorem 34 on each.
+//
+// Caveat on scale: even two one-access transactions generate hundreds of
+// thousands of maximal interleavings (the bookkeeping events commute
+// freely), so most configurations run BOUNDED-exhaustive — a deterministic
+// DFS prefix of the schedule space, capped. The single-transaction system
+// is small enough for genuinely exhaustive coverage.
+#include <gtest/gtest.h>
+
+#include "checker/serial_correctness.h"
+#include "explore/enumerator.h"
+#include "locking/locking_system.h"
+#include "serial/data_type.h"
+#include "tx/visibility.h"
+#include "tx/well_formed.h"
+
+namespace nestedtx {
+namespace {
+
+// One top-level transaction with a single write access: fully enumerable.
+SystemType MicroType() {
+  SystemTypeBuilder b;
+  const ObjectId x = b.AddObject("x", "counter");
+  const TransactionId t1 = b.AddInternal(TransactionId::Root());
+  b.AddAccess(t1, x, AccessKind::kWrite, {ops::kAdd, 1});
+  return b.Build();
+}
+
+// Two top-level transactions, one object, one access each.
+SystemType TinyType(AccessKind k1, AccessKind k2) {
+  SystemTypeBuilder b;
+  const ObjectId x = b.AddObject("x", "counter");
+  const TransactionId t1 = b.AddInternal(TransactionId::Root());
+  b.AddAccess(t1, x, k1,
+              k1 == AccessKind::kRead ? OpDescriptor{ops::kRead, 0}
+                                      : OpDescriptor{ops::kAdd, 1});
+  const TransactionId t2 = b.AddInternal(TransactionId::Root());
+  b.AddAccess(t2, x, k2,
+              k2 == AccessKind::kRead ? OpDescriptor{ops::kRead, 0}
+                                      : OpDescriptor{ops::kAdd, 2});
+  return b.Build();
+}
+
+// A nested tiny type: one top-level with a subtransaction holding the
+// write, plus a sibling reader.
+SystemType TinyNestedType() {
+  SystemTypeBuilder b;
+  const ObjectId x = b.AddObject("x", "counter");
+  const TransactionId t1 = b.AddInternal(TransactionId::Root());
+  const TransactionId t1a = b.AddInternal(t1);
+  b.AddAccess(t1a, x, AccessKind::kWrite, {ops::kAdd, 1});
+  const TransactionId t2 = b.AddInternal(TransactionId::Root());
+  b.AddAccess(t2, x, AccessKind::kRead, {ops::kRead, 0});
+  return b.Build();
+}
+
+struct ExploreOutcome {
+  EnumeratorStats stats;
+  size_t violations = 0;
+  size_t checked = 0;
+};
+
+ExploreOutcome Explore(const SystemType& st, bool allow_aborts,
+                       size_t max_schedules) {
+  LockingSystemOptions sys;
+  sys.scheduler.allow_spontaneous_aborts = allow_aborts;
+  SystemFactory factory = [&]() {
+    auto s = MakeLockingSystem(st, sys);
+    EXPECT_TRUE(s.ok());
+    return std::move(*s);
+  };
+  ExploreOutcome out;
+  ScheduleVisitor visitor = [&](const Schedule& alpha) -> Status {
+    ++out.checked;
+    Status wf = CheckConcurrentWellFormed(st, alpha);
+    if (!wf.ok()) {
+      ++out.violations;
+      return wf;  // stop at the first counterexample
+    }
+    Status sc = CheckSeriallyCorrectForAll(st, alpha, sys.script);
+    if (!sc.ok()) {
+      ++out.violations;
+      return sc;
+    }
+    return Status::OK();
+  };
+  EnumeratorOptions opts;
+  opts.leaves_only = true;
+  opts.max_schedules = max_schedules;
+  auto stats = EnumerateSchedules(factory, visitor, opts);
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  if (stats.ok()) out.stats = *stats;
+  return out;
+}
+
+TEST(ExhaustiveTest, MicroSystemFullyExhaustive) {
+  ExploreOutcome out = Explore(MicroType(), /*allow_aborts=*/false,
+                               /*max_schedules=*/200000);
+  EXPECT_TRUE(out.stats.exhausted)
+      << "micro system should be fully enumerable, visited "
+      << out.stats.schedules_visited;
+  EXPECT_EQ(out.violations, 0u);
+  EXPECT_GE(out.stats.schedules_visited, 1u);
+}
+
+TEST(ExhaustiveTest, MicroSystemWithAbortsBounded) {
+  ExploreOutcome out = Explore(MicroType(), /*allow_aborts=*/true,
+                               /*max_schedules=*/3000);
+  EXPECT_EQ(out.violations, 0u);
+  EXPECT_GE(out.stats.schedules_visited, 10u);
+}
+
+TEST(ExhaustiveTest, WriteWriteBounded) {
+  ExploreOutcome out =
+      Explore(TinyType(AccessKind::kWrite, AccessKind::kWrite), false, 2000);
+  EXPECT_EQ(out.violations, 0u);
+  EXPECT_GE(out.stats.schedules_visited, 100u);
+}
+
+TEST(ExhaustiveTest, ReadWriteBounded) {
+  ExploreOutcome out =
+      Explore(TinyType(AccessKind::kRead, AccessKind::kWrite), false, 2000);
+  EXPECT_EQ(out.violations, 0u);
+}
+
+TEST(ExhaustiveTest, ReadReadBounded) {
+  ExploreOutcome out =
+      Explore(TinyType(AccessKind::kRead, AccessKind::kRead), false, 2000);
+  EXPECT_EQ(out.violations, 0u);
+}
+
+TEST(ExhaustiveTest, NestedBounded) {
+  ExploreOutcome out = Explore(TinyNestedType(), false, 2000);
+  EXPECT_EQ(out.violations, 0u);
+}
+
+TEST(ExhaustiveTest, WriteWriteWithAbortsBounded) {
+  ExploreOutcome out =
+      Explore(TinyType(AccessKind::kWrite, AccessKind::kWrite), true, 2000);
+  EXPECT_EQ(out.violations, 0u);
+}
+
+TEST(ExhaustiveTest, NestedWithAbortsBounded) {
+  ExploreOutcome out = Explore(TinyNestedType(), true, 2000);
+  EXPECT_EQ(out.violations, 0u);
+}
+
+TEST(EnumeratorTest, PrefixVisitsExceedLeafVisits) {
+  SystemType st = MicroType();
+  LockingSystemOptions sys;
+  sys.scheduler.allow_spontaneous_aborts = false;
+  SystemFactory factory = [&]() {
+    auto s = MakeLockingSystem(st, sys);
+    EXPECT_TRUE(s.ok());
+    return std::move(*s);
+  };
+  size_t leaves = 0, all = 0;
+  EnumeratorOptions opts;
+  opts.leaves_only = true;
+  auto s1 = EnumerateSchedules(
+      factory, [&](const Schedule&) { ++leaves; return Status::OK(); },
+      opts);
+  ASSERT_TRUE(s1.ok());
+  opts.leaves_only = false;
+  auto s2 = EnumerateSchedules(
+      factory, [&](const Schedule&) { ++all; return Status::OK(); }, opts);
+  ASSERT_TRUE(s2.ok());
+  EXPECT_GT(all, leaves);
+}
+
+TEST(EnumeratorTest, VisitorErrorStopsExploration) {
+  SystemType st = MicroType();
+  SystemFactory factory = [&]() {
+    auto s = MakeLockingSystem(st, {});
+    EXPECT_TRUE(s.ok());
+    return std::move(*s);
+  };
+  auto r = EnumerateSchedules(
+      factory,
+      [&](const Schedule&) { return Status::Internal("counterexample"); },
+      {});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(EnumeratorTest, CapsAreHonoured) {
+  SystemType st = TinyType(AccessKind::kWrite, AccessKind::kWrite);
+  SystemFactory factory = [&]() {
+    auto s = MakeLockingSystem(st, {});
+    EXPECT_TRUE(s.ok());
+    return std::move(*s);
+  };
+  EnumeratorOptions opts;
+  opts.max_schedules = 3;
+  auto r = EnumerateSchedules(
+      factory, [&](const Schedule&) { return Status::OK(); }, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->exhausted);
+  EXPECT_LE(r->schedules_visited, 3u);
+}
+
+}  // namespace
+}  // namespace nestedtx

@@ -1,0 +1,211 @@
+// Direct property tests for the §4 semantic lemmas, over randomly
+// generated object schedules:
+//   Lemma 15 — restricted transitivity of equieffectiveness,
+//   Lemma 16 — extension of equieffective schedules by a common suffix,
+//   Lemma 17 — removing transparent operations preserves equieffectiveness,
+//   Lemma 20 — write-equal well-formed schedules are equieffective.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "checker/equieffective.h"
+#include "serial/data_type.h"
+#include "tx/visibility.h"
+#include "tx/well_formed.h"
+#include "util/random.h"
+
+namespace nestedtx {
+namespace {
+
+// One object with a pool of read and write accesses under one parent.
+class LemmaPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  LemmaPropertyTest() {
+    SystemTypeBuilder b;
+    x_ = b.AddObject("x", "counter", 0);
+    const TransactionId t = b.AddInternal(TransactionId::Root());
+    for (int i = 0; i < 4; ++i) {
+      reads_.push_back(b.AddAccess(t, x_, AccessKind::kRead, {ops::kRead, 0}));
+      writes_.push_back(
+          b.AddAccess(t, x_, AccessKind::kWrite, {ops::kAdd, i + 1}));
+    }
+    st_ = b.Build();
+  }
+
+  // A random well-formed *schedule* of X: replays accesses against the
+  // counter in a random order, with some left pending (created only).
+  Schedule RandomObjectSchedule(Rng& rng) {
+    std::vector<TransactionId> pool;
+    for (const auto& r : reads_) {
+      if (rng.Bernoulli(0.7)) pool.push_back(r);
+    }
+    for (const auto& w : writes_) {
+      if (rng.Bernoulli(0.7)) pool.push_back(w);
+    }
+    // Shuffle via random picks.
+    Schedule out;
+    Value state = 0;
+    while (!pool.empty()) {
+      const size_t i = rng.Uniform(pool.size());
+      const TransactionId a = pool[i];
+      pool.erase(pool.begin() + i);
+      out.push_back(Event::Create(a));
+      if (rng.Bernoulli(0.8)) {
+        const DataType* dt = FindDataType("counter");
+        auto [next, v] = dt->Apply(state, st_.Access(a).op);
+        out.push_back(Event::RequestCommit(a, v));
+        state = next;
+      }
+    }
+    return out;
+  }
+
+  SystemType st_;
+  ObjectId x_;
+  std::vector<TransactionId> reads_, writes_;
+};
+
+TEST_P(LemmaPropertyTest, Lemma20WriteEqualImpliesEquieffective) {
+  Rng rng(GetParam() * 7 + 1);
+  for (int trial = 0; trial < 40; ++trial) {
+    Schedule alpha = RandomObjectSchedule(rng);
+    // Build beta: same writes in the same order, reads and CREATEs
+    // shuffled around them (keeping per-access CREATE-before-RC).
+    Schedule beta;
+    // Simple legal transform: move every read access's events to the end,
+    // in a random order.
+    std::vector<TransactionId> read_order;
+    for (const Event& e : alpha) {
+      if (e.kind == EventKind::kCreate &&
+          st_.Access(e.txn).kind == AccessKind::kRead) {
+        read_order.push_back(e.txn);
+      }
+    }
+    for (const Event& e : alpha) {
+      if (st_.Access(e.txn).kind == AccessKind::kWrite) beta.push_back(e);
+    }
+    for (const TransactionId& r : read_order) {
+      for (const Event& e : alpha) {
+        if (e.txn == r) beta.push_back(e);
+      }
+    }
+    ASSERT_TRUE(CheckBasicObjectWellFormed(st_, beta, x_).ok());
+    ASSERT_TRUE(WriteEqual(st_, alpha, beta));
+    // Lemma 20 premise needs both to be schedules of X. alpha is by
+    // construction; beta moved reads, whose recorded values may no longer
+    // replay — Lemma 20 only speaks about pairs that are schedules.
+    auto ra = ReplayBasicObject(st_, x_, alpha);
+    auto rb = ReplayBasicObject(st_, x_, beta);
+    ASSERT_TRUE(ra.ok());
+    ASSERT_TRUE(rb.ok());
+    if (!ra->is_schedule || !rb->is_schedule) continue;
+    auto eq = Equieffective(st_, x_, alpha, beta);
+    ASSERT_TRUE(eq.ok());
+    EXPECT_TRUE(*eq) << "trial " << trial;
+  }
+}
+
+TEST_P(LemmaPropertyTest, Lemma17RemovingTransparentOpsEquieffective) {
+  Rng rng(GetParam() * 13 + 3);
+  for (int trial = 0; trial < 40; ++trial) {
+    Schedule alpha = RandomObjectSchedule(rng);
+    // Remove all operations of a random subset of READ accesses (their
+    // CREATEs and REQUEST_COMMITs are transparent by conditions 1 & 3).
+    std::set<TransactionId> removed;
+    for (const auto& r : reads_) {
+      if (rng.Bernoulli(0.5)) removed.insert(r);
+    }
+    Schedule beta;
+    for (const Event& e : alpha) {
+      if (!removed.count(e.txn)) beta.push_back(e);
+    }
+    auto eq = Equieffective(st_, x_, alpha, beta);
+    ASSERT_TRUE(eq.ok());
+    EXPECT_TRUE(*eq) << "trial " << trial;
+  }
+}
+
+TEST_P(LemmaPropertyTest, Lemma15RestrictedTransitivity) {
+  Rng rng(GetParam() * 17 + 5);
+  for (int trial = 0; trial < 30; ++trial) {
+    Schedule alpha = RandomObjectSchedule(rng);
+    // beta: alpha minus some reads (subset of events, equieffective by
+    // Lemma 17); gamma: beta minus some more reads.
+    auto strip = [&](const Schedule& in) {
+      std::set<TransactionId> removed;
+      for (const auto& r : reads_) {
+        if (rng.Bernoulli(0.4)) removed.insert(r);
+      }
+      Schedule out;
+      for (const Event& e : in) {
+        if (!removed.count(e.txn)) out.push_back(e);
+      }
+      return out;
+    };
+    Schedule beta = strip(alpha);
+    Schedule gamma = strip(beta);
+    auto ab = Equieffective(st_, x_, alpha, beta);
+    auto bg = Equieffective(st_, x_, beta, gamma);
+    auto ag = Equieffective(st_, x_, alpha, gamma);
+    ASSERT_TRUE(ab.ok());
+    ASSERT_TRUE(bg.ok());
+    ASSERT_TRUE(ag.ok());
+    if (*ab && *bg) {
+      EXPECT_TRUE(*ag) << "trial " << trial;
+    }
+  }
+}
+
+TEST_P(LemmaPropertyTest, Lemma16CommonSuffixPreservesSchedulehood) {
+  Rng rng(GetParam() * 23 + 7);
+  for (int trial = 0; trial < 30; ++trial) {
+    Schedule alpha = RandomObjectSchedule(rng);
+    // beta: same events, CREATEs of still-pending accesses moved to the
+    // end (equieffective with the same event set, per condition 2).
+    Schedule beta, moved;
+    auto replay = ReplayBasicObject(st_, x_, alpha);
+    ASSERT_TRUE(replay.ok());
+    for (const Event& e : alpha) {
+      if (e.kind == EventKind::kCreate && replay->pending.count(e.txn)) {
+        moved.push_back(e);
+      } else {
+        beta.push_back(e);
+      }
+    }
+    beta.insert(beta.end(), moved.begin(), moved.end());
+    auto eq = Equieffective(st_, x_, alpha, beta);
+    ASSERT_TRUE(eq.ok());
+    ASSERT_TRUE(*eq);
+    // Lemma 16: any continuation that extends alpha to a well-formed
+    // schedule extends beta equieffectively. Use a fresh read of a
+    // not-yet-created access as phi.
+    for (const auto& r : reads_) {
+      bool used = false;
+      for (const Event& e : alpha) used |= e.txn == r;
+      if (used) continue;
+      const DataType* dt = FindDataType("counter");
+      auto [next, v] = dt->Apply(replay->state, {ops::kRead, 0});
+      (void)next;
+      Schedule phi = {Event::Create(r), Event::RequestCommit(r, v)};
+      Schedule alpha_phi = alpha;
+      alpha_phi.insert(alpha_phi.end(), phi.begin(), phi.end());
+      Schedule beta_phi = beta;
+      beta_phi.insert(beta_phi.end(), phi.begin(), phi.end());
+      auto ra = ReplayBasicObject(st_, x_, alpha_phi);
+      auto rb = ReplayBasicObject(st_, x_, beta_phi);
+      ASSERT_TRUE(ra.ok());
+      ASSERT_TRUE(rb.ok());
+      EXPECT_EQ(ra->is_schedule, rb->is_schedule);
+      auto eq2 = Equieffective(st_, x_, alpha_phi, beta_phi);
+      ASSERT_TRUE(eq2.ok());
+      EXPECT_TRUE(*eq2);
+      break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LemmaPropertyTest,
+                         ::testing::Range<uint64_t>(0, 6));
+
+}  // namespace
+}  // namespace nestedtx

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include "automata/executor.h"
+#include "checker/invariants.h"
+#include "explore/random_walk.h"
+#include "explore/workload.h"
+#include "locking/generic_scheduler.h"
+#include "locking/locking_system.h"
+#include "locking/rw_lock_object.h"
+#include "tx/visibility.h"
+#include "tx/well_formed.h"
+
+namespace nestedtx {
+namespace {
+
+TransactionId T(std::initializer_list<uint32_t> path) {
+  return TransactionId(std::vector<uint32_t>(path));
+}
+
+TEST(LockingSystemTest, RunsToQuiescence) {
+  SystemType st = MakeCanonicalSystemType();
+  auto run = RandomLockingRun(st, 1);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_FALSE(run->empty());
+}
+
+TEST(LockingSystemTest, SchedulesAreConcurrentWellFormed) {
+  // Lemma 26.
+  SystemType st = MakeCanonicalSystemType();
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    auto run = RandomLockingRun(st, seed);
+    ASSERT_TRUE(run.ok());
+    EXPECT_TRUE(CheckConcurrentWellFormed(st, *run).ok()) << "seed " << seed;
+    EXPECT_TRUE(CheckSchedulerDiscipline(st, *run).ok()) << "seed " << seed;
+  }
+}
+
+TEST(LockingSystemTest, NoAbortsAllCommit) {
+  SystemType st = MakeCanonicalSystemType();
+  LockingSystemOptions sys;
+  sys.scheduler.allow_spontaneous_aborts = false;
+  auto run = RandomLockingRun(st, 5, sys);
+  ASSERT_TRUE(run.ok());
+  FateIndex fate = FateIndex::Of(*run);
+  for (const TransactionId& top : st.Children(TransactionId::Root())) {
+    EXPECT_TRUE(fate.committed.count(top)) << top;
+  }
+}
+
+// Drives one RwLockObject by hand through the §5.1 rules.
+class RwLockObjectTest : public ::testing::Test {
+ protected:
+  RwLockObjectTest() : st_(MakeCanonicalSystemType()), obj_(&st_, 0) {
+    read_ = T({0, 0});    // read access to X0 (counter, init 0)
+    write_ = T({0, 1});   // add-5 access to X0
+    read2_ = T({1, 1});   // T0.1's read of X0
+    read3_ = T({2, 0});   // T0.2's read of X0
+  }
+  SystemType st_;
+  RwLockObject obj_;
+  TransactionId read_, write_, read2_, read3_;
+};
+
+TEST_F(RwLockObjectTest, InitialStateHasRootWriteLock) {
+  EXPECT_EQ(obj_.write_lockholders().size(), 1u);
+  EXPECT_TRUE(obj_.write_lockholders().count(TransactionId::Root()));
+  EXPECT_EQ(obj_.CurrentState(), 0);
+}
+
+TEST_F(RwLockObjectTest, ReadGrantedAndLockRecorded) {
+  ASSERT_TRUE(obj_.Apply(Event::Create(read_)).ok());
+  auto enabled = obj_.EnabledOutputs();
+  ASSERT_EQ(enabled.size(), 1u);
+  EXPECT_EQ(enabled[0], Event::RequestCommit(read_, 0));
+  ASSERT_TRUE(obj_.Apply(enabled[0]).ok());
+  EXPECT_TRUE(obj_.read_lockholders().count(read_));
+  EXPECT_EQ(obj_.CurrentState(), 0);  // reads store no version
+}
+
+TEST_F(RwLockObjectTest, TwoReadsFromDifferentTopLevelsCoexist) {
+  ASSERT_TRUE(obj_.Apply(Event::Create(read_)).ok());
+  ASSERT_TRUE(obj_.Apply(Event::RequestCommit(read_, 0)).ok());
+  ASSERT_TRUE(obj_.Apply(Event::Create(read3_)).ok());
+  // read3_ is in a different top-level txn; read locks don't conflict.
+  auto enabled = obj_.EnabledOutputs();
+  ASSERT_EQ(enabled.size(), 1u);
+  ASSERT_TRUE(obj_.Apply(enabled[0]).ok());
+  EXPECT_EQ(obj_.read_lockholders().size(), 2u);
+}
+
+TEST_F(RwLockObjectTest, WriteBlockedByForeignReadLock) {
+  ASSERT_TRUE(obj_.Apply(Event::Create(read3_)).ok());
+  ASSERT_TRUE(obj_.Apply(Event::RequestCommit(read3_, 0)).ok());
+  ASSERT_TRUE(obj_.Apply(Event::Create(write_)).ok());
+  // write_ (under T0.0) conflicts with read lock held by T0.2's access.
+  EXPECT_TRUE(obj_.EnabledOutputs().empty());
+  EXPECT_TRUE(
+      obj_.Apply(Event::RequestCommit(write_, 5)).IsFailedPrecondition());
+}
+
+TEST_F(RwLockObjectTest, ReadBlockedByForeignWriteLock) {
+  ASSERT_TRUE(obj_.Apply(Event::Create(write_)).ok());
+  ASSERT_TRUE(obj_.Apply(Event::RequestCommit(write_, 5)).ok());
+  ASSERT_TRUE(obj_.Apply(Event::Create(read3_)).ok());
+  EXPECT_TRUE(obj_.EnabledOutputs().empty());
+}
+
+TEST_F(RwLockObjectTest, SameTransactionReadAfterOwnWriteViaInheritance) {
+  // write_ commits up to T0.0; then T0.0's sibling-subtree read read2_
+  // is still blocked (lock at T0.0, not an ancestor of T0.1's access),
+  // but after T0.0 commits to T0, everyone sees it.
+  ASSERT_TRUE(obj_.Apply(Event::Create(write_)).ok());
+  ASSERT_TRUE(obj_.Apply(Event::RequestCommit(write_, 5)).ok());
+  // Commit the access itself: lock passes to T0.0.
+  ASSERT_TRUE(obj_.Apply(Event::InformCommitAt(0, write_)).ok());
+  EXPECT_TRUE(obj_.write_lockholders().count(T({0})));
+  EXPECT_FALSE(obj_.write_lockholders().count(write_));
+  EXPECT_EQ(obj_.CurrentState(), 5);
+
+  ASSERT_TRUE(obj_.Apply(Event::Create(read2_)).ok());
+  EXPECT_TRUE(obj_.EnabledOutputs().empty());  // still blocked by T0.0
+
+  // T0.0 commits to top: lock passes to T0 (ancestor of everyone).
+  ASSERT_TRUE(obj_.Apply(Event::InformCommitAt(0, T({0}))).ok());
+  auto enabled = obj_.EnabledOutputs();
+  ASSERT_EQ(enabled.size(), 1u);
+  EXPECT_EQ(enabled[0], Event::RequestCommit(read2_, 5));  // sees the 5
+}
+
+TEST_F(RwLockObjectTest, AbortDiscardsVersionsAndLocks) {
+  ASSERT_TRUE(obj_.Apply(Event::Create(write_)).ok());
+  ASSERT_TRUE(obj_.Apply(Event::RequestCommit(write_, 5)).ok());
+  ASSERT_TRUE(obj_.Apply(Event::InformCommitAt(0, write_)).ok());
+  EXPECT_EQ(obj_.CurrentState(), 5);
+  // Abort T0.0: its subtree's locks and versions vanish; state reverts.
+  ASSERT_TRUE(obj_.Apply(Event::InformAbortAt(0, T({0}))).ok());
+  EXPECT_FALSE(obj_.write_lockholders().count(T({0})));
+  EXPECT_EQ(obj_.CurrentState(), 0);
+  // Other transactions may now proceed against the restored state.
+  ASSERT_TRUE(obj_.Apply(Event::Create(read3_)).ok());
+  auto enabled = obj_.EnabledOutputs();
+  ASSERT_EQ(enabled.size(), 1u);
+  EXPECT_EQ(enabled[0], Event::RequestCommit(read3_, 0));
+}
+
+TEST_F(RwLockObjectTest, LockholdersChainInvariantHolds) {
+  // Lemma 21 sweep over random runs, inspecting object states via a
+  // manually stepped system.
+  SystemType st = MakeCanonicalSystemType();
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    auto sys = MakeLockingSystem(st);
+    ASSERT_TRUE(sys.ok());
+    Rng rng(seed);
+    for (int step = 0; step < 500; ++step) {
+      auto enabled = (*sys)->EnabledOutputs();
+      if (enabled.empty()) break;
+      std::vector<double> w;
+      for (const Event& e : enabled) {
+        w.push_back(e.kind == EventKind::kAbort ? 0.05 : 1.0);
+      }
+      ASSERT_TRUE((*sys)->Apply(enabled[rng.Weighted(w)]).ok());
+      for (ObjectId x = 0; x < st.NumObjects(); ++x) {
+        auto* obj = dynamic_cast<RwLockObject*>(
+            (*sys)->Find(x == 0 ? "M(X0)" : "M(X1)"));
+        ASSERT_NE(obj, nullptr);
+        EXPECT_TRUE(obj->LockholdersFormChains())
+            << "seed " << seed << " step " << step;
+      }
+    }
+  }
+}
+
+TEST(GenericSchedulerTest, AllowsSiblingConcurrency) {
+  SystemType st = MakeCanonicalSystemType();
+  GenericScheduler sched(&st);
+  const TransactionId a = T({0});
+  const TransactionId b = T({1});
+  ASSERT_TRUE(sched.Apply(Event::Create(TransactionId::Root())).ok());
+  ASSERT_TRUE(sched.Apply(Event::RequestCreate(a)).ok());
+  ASSERT_TRUE(sched.Apply(Event::RequestCreate(b)).ok());
+  ASSERT_TRUE(sched.Apply(Event::Create(a)).ok());
+  // Unlike the serial scheduler, b can start while a is live.
+  EXPECT_TRUE(sched.Apply(Event::Create(b)).ok());
+}
+
+TEST(GenericSchedulerTest, CanAbortRunningTransaction) {
+  SystemType st = MakeCanonicalSystemType();
+  GenericScheduler sched(&st);
+  const TransactionId a = T({0});
+  ASSERT_TRUE(sched.Apply(Event::Create(TransactionId::Root())).ok());
+  ASSERT_TRUE(sched.Apply(Event::RequestCreate(a)).ok());
+  ASSERT_TRUE(sched.Apply(Event::Create(a)).ok());
+  EXPECT_TRUE(sched.Apply(Event::Abort(a)).ok());  // abort after create
+  // But not twice, and no commit after abort.
+  EXPECT_TRUE(sched.Apply(Event::Abort(a)).IsFailedPrecondition());
+  ASSERT_TRUE(sched.Apply(Event::RequestCommit(a, 0)).ok());
+  EXPECT_TRUE(sched.Apply(Event::Commit(a)).IsFailedPrecondition());
+}
+
+TEST(GenericSchedulerTest, InformOnlyAfterReturn) {
+  SystemType st = MakeCanonicalSystemType();
+  GenericScheduler sched(&st);
+  const TransactionId a = T({0});
+  ASSERT_TRUE(sched.Apply(Event::Create(TransactionId::Root())).ok());
+  ASSERT_TRUE(sched.Apply(Event::RequestCreate(a)).ok());
+  EXPECT_TRUE(
+      sched.Apply(Event::InformCommitAt(0, a)).IsFailedPrecondition());
+  EXPECT_TRUE(
+      sched.Apply(Event::InformAbortAt(0, a)).IsFailedPrecondition());
+  ASSERT_TRUE(sched.Apply(Event::Abort(a)).ok());
+  EXPECT_TRUE(sched.Apply(Event::InformAbortAt(0, a)).ok());
+}
+
+TEST(LockingSystemTest, ExclusiveDegenerationStillRuns) {
+  // All accesses writes -> Moss degenerates to exclusive locking; the
+  // system still runs to quiescence and commits everything without aborts.
+  SystemTypeBuilder b;
+  const ObjectId x = b.AddObject("x", "counter");
+  for (int i = 0; i < 3; ++i) {
+    const TransactionId t = b.AddInternal(TransactionId::Root());
+    b.AddAccess(t, x, AccessKind::kWrite, {ops::kAdd, 1});
+    b.AddAccess(t, x, AccessKind::kWrite, {ops::kAdd, 10});
+  }
+  SystemType st = b.Build();
+  LockingSystemOptions sys;
+  sys.scheduler.allow_spontaneous_aborts = false;
+  auto run = RandomLockingRun(st, 42, sys);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  FateIndex fate = FateIndex::Of(*run);
+  EXPECT_EQ(fate.committed.size(), 9u);  // 3 txns + 6 accesses
+}
+
+TEST(LockingSystemTest, RandomTypesRunCleanWithAborts) {
+  WorkloadParams params;
+  params.num_objects = 2;
+  params.num_top_level = 3;
+  for (uint64_t seed = 0; seed < 15; ++seed) {
+    SystemType st = MakeRandomSystemType(params, seed);
+    auto run = RandomLockingRun(st, seed * 17 + 3);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_TRUE(CheckConcurrentWellFormed(st, *run).ok()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace nestedtx

@@ -1,0 +1,134 @@
+// Orphan elimination (extension; the paper's companion-work direction):
+// with GenericSchedulerOptions::eliminate_orphans, the scheduler never
+// delivers an input to an orphan, so an orphan's view is frozen at the
+// moment its ancestor aborts — and Theorem 34 still holds, since the
+// eliminated scheduler is a strict restriction of the paper's.
+#include <gtest/gtest.h>
+
+#include "checker/serial_correctness.h"
+#include "explore/random_walk.h"
+#include "explore/workload.h"
+#include "locking/generic_scheduler.h"
+#include "tx/visibility.h"
+#include "tx/well_formed.h"
+#include "util/strings.h"
+
+namespace nestedtx {
+namespace {
+
+// In `schedule`, after ABORT(U) no CREATE or REPORT event may be
+// delivered into U's subtree.
+Status CheckNoInputsToOrphans(const Schedule& schedule) {
+  std::set<TransactionId> aborted;
+  auto orphan = [&](const TransactionId& t) {
+    for (const auto& a : aborted) {
+      if (a.IsAncestorOf(t)) return true;
+    }
+    return false;
+  };
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    const Event& e = schedule[i];
+    if (e.kind == EventKind::kAbort) {
+      aborted.insert(e.txn);
+      continue;
+    }
+    // Recipient of a CREATE is the transaction itself; of a REPORT, the
+    // parent.
+    if (e.kind == EventKind::kCreate && orphan(e.txn)) {
+      return Status::Internal(
+          StrCat("event #", i, " (", e, ") creates an orphan"));
+    }
+    if ((e.kind == EventKind::kReportCommit ||
+         e.kind == EventKind::kReportAbort) &&
+        orphan(e.txn.Parent())) {
+      return Status::Internal(
+          StrCat("event #", i, " (", e, ") reports to an orphan"));
+    }
+  }
+  return Status::OK();
+}
+
+LockingSystemOptions Eliminating() {
+  LockingSystemOptions sys;
+  sys.scheduler.eliminate_orphans = true;
+  return sys;
+}
+
+TEST(OrphanEliminationTest, NoInputsDeliveredToOrphans) {
+  SystemType st = MakeCanonicalSystemType();
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    auto run = RandomLockingRun(st, seed, Eliminating());
+    ASSERT_TRUE(run.ok());
+    EXPECT_TRUE(CheckNoInputsToOrphans(*run).ok()) << "seed " << seed;
+  }
+}
+
+TEST(OrphanEliminationTest, WithoutEliminationOrphansDoReceiveInputs) {
+  // Control: the unrestricted scheduler does create orphans (this is what
+  // makes elimination a meaningful feature, and what makes Theorem 34's
+  // restriction to non-orphans necessary).
+  SystemType st = MakeCanonicalSystemType();
+  bool saw_orphan_input = false;
+  for (uint64_t seed = 0; seed < 200 && !saw_orphan_input; ++seed) {
+    auto run = RandomLockingRun(st, seed);
+    ASSERT_TRUE(run.ok());
+    saw_orphan_input = !CheckNoInputsToOrphans(*run).ok();
+  }
+  EXPECT_TRUE(saw_orphan_input)
+      << "no orphan ever received an input in 200 unrestricted runs";
+}
+
+TEST(OrphanEliminationTest, Theorem34StillHolds) {
+  WorkloadParams params;
+  params.num_top_level = 3;
+  params.max_extra_depth = 2;
+  for (uint64_t type_seed = 0; type_seed < 8; ++type_seed) {
+    SystemType st = MakeRandomSystemType(params, type_seed);
+    for (uint64_t run_seed = 0; run_seed < 5; ++run_seed) {
+      auto run =
+          RandomLockingRun(st, type_seed * 100 + run_seed, Eliminating());
+      ASSERT_TRUE(run.ok());
+      ASSERT_TRUE(CheckConcurrentWellFormed(st, *run).ok());
+      EXPECT_TRUE(CheckSeriallyCorrectForAll(st, *run, {}).ok())
+          << "type " << type_seed << " run " << run_seed;
+    }
+  }
+}
+
+TEST(OrphanEliminationTest, OrphanViewFrozenAfterAbort) {
+  // After ABORT(U), the projection of the schedule at any descendant
+  // transaction T of U gains no further *input* events (CREATE/REPORT);
+  // T's own outputs may still occur.
+  SystemType st = MakeCanonicalSystemType();
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    auto run = RandomLockingRun(st, seed, Eliminating());
+    ASSERT_TRUE(run.ok());
+    FateIndex fate = FateIndex::Of(*run);
+    for (const TransactionId& u : fate.aborted) {
+      // Find the abort position.
+      size_t abort_pos = run->size();
+      for (size_t i = 0; i < run->size(); ++i) {
+        if ((*run)[i].kind == EventKind::kAbort && (*run)[i].txn == u) {
+          abort_pos = i;
+          break;
+        }
+      }
+      for (size_t i = abort_pos + 1; i < run->size(); ++i) {
+        const Event& e = (*run)[i];
+        const bool is_input_event =
+            e.kind == EventKind::kCreate ||
+            e.kind == EventKind::kReportCommit ||
+            e.kind == EventKind::kReportAbort;
+        if (!is_input_event) continue;
+        const TransactionId recipient =
+            e.kind == EventKind::kCreate ? e.txn : e.txn.Parent();
+        EXPECT_FALSE(u.IsAncestorOf(recipient))
+            << "seed " << seed << ": " << e << " delivered into " << u
+            << "'s subtree after its abort";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nestedtx

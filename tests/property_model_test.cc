@@ -1,0 +1,176 @@
+// Parameterized property sweeps over the model layer: for a grid of
+// workload shapes x scheduler behaviours, every random execution of the
+// R/W Locking system must satisfy (1) concurrent well-formedness
+// (Lemma 26), (2) scheduler discipline (Lemma 25 consequences), and
+// (3) Theorem 34 — serial correctness for every non-orphan transaction.
+#include <gtest/gtest.h>
+
+#include "checker/invariants.h"
+#include "checker/serial_correctness.h"
+#include "explore/random_walk.h"
+#include "explore/workload.h"
+#include "tx/visibility.h"
+#include "tx/well_formed.h"
+
+namespace nestedtx {
+namespace {
+
+struct ModelSweepCase {
+  std::string label;
+  size_t num_objects;
+  size_t num_top_level;
+  size_t max_extra_depth;
+  double read_ratio;
+  bool allow_aborts;
+  int types;
+  int runs_per_type;
+};
+
+void PrintTo(const ModelSweepCase& c, std::ostream* os) { *os << c.label; }
+
+class ModelPropertyTest : public ::testing::TestWithParam<ModelSweepCase> {};
+
+TEST_P(ModelPropertyTest, EveryRunSatisfiesTheorem34) {
+  const ModelSweepCase& c = GetParam();
+  WorkloadParams params;
+  params.num_objects = c.num_objects;
+  params.num_top_level = c.num_top_level;
+  params.max_extra_depth = c.max_extra_depth;
+  params.read_ratio = c.read_ratio;
+  LockingSystemOptions sys;
+  sys.scheduler.allow_spontaneous_aborts = c.allow_aborts;
+  for (int ts = 0; ts < c.types; ++ts) {
+    SystemType st = MakeRandomSystemType(params, 9000 + ts);
+    for (int rs = 0; rs < c.runs_per_type; ++rs) {
+      auto run = RandomLockingRun(st, ts * 119 + rs + 1, sys);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      ASSERT_TRUE(CheckConcurrentWellFormed(st, *run).ok())
+          << "type " << ts << " run " << rs;
+      ASSERT_TRUE(CheckSchedulerDiscipline(st, *run).ok())
+          << "type " << ts << " run " << rs;
+      Status verdict = CheckSeriallyCorrectForAll(st, *run, sys.script);
+      ASSERT_TRUE(verdict.ok()) << "type " << ts << " run " << rs << ": "
+                                << verdict.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ModelPropertyTest,
+    ::testing::Values(
+        ModelSweepCase{"flat_mixed", 2, 3, 0, 0.5, true, 6, 5},
+        ModelSweepCase{"flat_no_aborts", 2, 3, 0, 0.5, false, 6, 5},
+        ModelSweepCase{"nested_mixed", 2, 2, 2, 0.5, true, 6, 5},
+        ModelSweepCase{"deep_nested", 2, 2, 4, 0.5, true, 4, 4},
+        ModelSweepCase{"read_only", 2, 4, 1, 1.0, true, 5, 4},
+        ModelSweepCase{"write_only_exclusive", 2, 3, 1, 0.0, true, 5, 4},
+        ModelSweepCase{"hotspot_one_object", 1, 4, 1, 0.5, true, 5, 4},
+        ModelSweepCase{"many_objects", 5, 3, 1, 0.5, true, 5, 4},
+        ModelSweepCase{"wide_fanout", 2, 5, 1, 0.6, true, 4, 4}),
+    [](const ::testing::TestParamInfo<ModelSweepCase>& info) {
+      return info.param.label;
+    });
+
+// Visibility lemma properties (Lemmas 7-12) over random runs: cheap
+// structural facts the proof leans on, checked on real schedules.
+class VisibilityLemmaTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VisibilityLemmaTest, Lemma7Properties) {
+  WorkloadParams params;
+  params.num_top_level = 3;
+  params.max_extra_depth = 2;
+  SystemType st = MakeRandomSystemType(params, GetParam());
+  auto run = RandomLockingRun(st, GetParam() * 31 + 5);
+  ASSERT_TRUE(run.ok());
+  FateIndex fate = FateIndex::Of(*run);
+
+  std::vector<TransactionId> txns = {TransactionId::Root()};
+  for (const auto& t : st.AllTransactions()) txns.push_back(t);
+
+  for (const auto& t : txns) {
+    for (const auto& tp : txns) {
+      // Lemma 7.1: ancestors are visible to descendants.
+      if (t.IsAncestorOf(tp)) {
+        EXPECT_TRUE(fate.IsVisibleTo(t, tp));
+      }
+      // Lemma 7.2: T' visible to T iff T' visible to lca(T,T').
+      EXPECT_EQ(fate.IsVisibleTo(tp, t),
+                fate.IsVisibleTo(tp, tp.Lca(t)));
+      for (const auto& tpp : txns) {
+        // Lemma 7.3: visibility is transitive.
+        if (fate.IsVisibleTo(tpp, tp) && fate.IsVisibleTo(tp, t)) {
+          EXPECT_TRUE(fate.IsVisibleTo(tpp, t));
+        }
+      }
+    }
+  }
+}
+
+TEST_P(VisibilityLemmaTest, Lemma8Monotonicity) {
+  // Visibility in a subsequence implies visibility in the original.
+  WorkloadParams params;
+  params.num_top_level = 3;
+  SystemType st = MakeRandomSystemType(params, GetParam());
+  auto run = RandomLockingRun(st, GetParam() * 31 + 5);
+  ASSERT_TRUE(run.ok());
+  // Use visible(alpha, T0) as the subsequence beta.
+  Schedule beta = Visible(*run, TransactionId::Root());
+  FateIndex falpha = FateIndex::Of(*run);
+  FateIndex fbeta = FateIndex::Of(beta);
+  std::vector<TransactionId> txns = {TransactionId::Root()};
+  for (const auto& t : st.AllTransactions()) txns.push_back(t);
+  for (const auto& t : txns) {
+    for (const auto& tp : txns) {
+      if (fbeta.IsVisibleTo(t, tp)) {
+        EXPECT_TRUE(falpha.IsVisibleTo(t, tp));
+      }
+    }
+  }
+}
+
+TEST_P(VisibilityLemmaTest, Lemma9Projection) {
+  // visible(alpha,T)|T' equals alpha|T' if T' visible to T, else empty.
+  WorkloadParams params;
+  params.num_top_level = 3;
+  SystemType st = MakeRandomSystemType(params, GetParam());
+  auto run = RandomLockingRun(st, GetParam() * 31 + 5);
+  ASSERT_TRUE(run.ok());
+  FateIndex fate = FateIndex::Of(*run);
+  std::vector<TransactionId> txns = {TransactionId::Root()};
+  for (const auto& t : st.AllTransactions()) {
+    if (st.IsInternal(t)) txns.push_back(t);
+  }
+  for (const auto& t : txns) {
+    Schedule vis = Visible(*run, t);
+    for (const auto& tp : txns) {
+      if (fate.IsVisibleTo(tp, t)) {
+        EXPECT_EQ(ProjectTransaction(vis, tp), ProjectTransaction(*run, tp))
+            << tp << " visible to " << t;
+      } else {
+        EXPECT_TRUE(ProjectTransaction(vis, tp).empty())
+            << tp << " not visible to " << t;
+      }
+    }
+  }
+}
+
+TEST_P(VisibilityLemmaTest, Lemma12VisibleWellFormed) {
+  WorkloadParams params;
+  params.num_top_level = 3;
+  SystemType st = MakeRandomSystemType(params, GetParam());
+  auto run = RandomLockingRun(st, GetParam() * 31 + 5);
+  ASSERT_TRUE(run.ok());
+  std::vector<TransactionId> txns = {TransactionId::Root()};
+  for (const auto& t : st.AllTransactions()) txns.push_back(t);
+  for (const auto& t : txns) {
+    // Projection of visible(alpha, T) at any component is well-formed.
+    Schedule vis = Visible(*run, t);
+    EXPECT_TRUE(CheckSerialWellFormed(st, vis).ok()) << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VisibilityLemmaTest,
+                         ::testing::Range<uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace nestedtx

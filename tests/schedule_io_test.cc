@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "explore/random_walk.h"
+#include "explore/workload.h"
+#include "tx/schedule_io.h"
+
+namespace nestedtx {
+namespace {
+
+TransactionId T(std::initializer_list<uint32_t> path) {
+  return TransactionId(std::vector<uint32_t>(path));
+}
+
+TEST(ScheduleIoTest, TransactionIdRoundTrip) {
+  for (const TransactionId& id :
+       {TransactionId::Root(), T({0}), T({3, 1, 4})}) {
+    auto parsed = TransactionIdFromText(TransactionIdToText(id));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, id);
+  }
+  EXPECT_EQ(TransactionIdToText(TransactionId::Root()), "-");
+  EXPECT_EQ(TransactionIdToText(T({3, 1})), "3.1");
+}
+
+TEST(ScheduleIoTest, TransactionIdRejectsGarbage) {
+  EXPECT_FALSE(TransactionIdFromText("").ok());
+  EXPECT_FALSE(TransactionIdFromText("1..2").ok());
+  EXPECT_FALSE(TransactionIdFromText("a.b").ok());
+  EXPECT_FALSE(TransactionIdFromText("1.x").ok());
+}
+
+TEST(ScheduleIoTest, EventRoundTripAllKinds) {
+  Schedule s = {
+      Event::Create(T({0})),
+      Event::RequestCreate(T({0, 1})),
+      Event::RequestCommit(T({0, 1}), -42),
+      Event::Commit(T({0, 1})),
+      Event::Abort(T({2})),
+      Event::ReportCommit(T({0, 1}), 7),
+      Event::ReportAbort(T({2})),
+      Event::InformCommitAt(3, T({0, 1})),
+      Event::InformAbortAt(0, T({2})),
+  };
+  auto parsed = ScheduleFromText(ScheduleToText(s));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, s);
+}
+
+TEST(ScheduleIoTest, CommentsAndBlanksIgnored) {
+  auto parsed = ScheduleFromText(
+      "# a counterexample\n"
+      "\n"
+      "CREATE -\n"
+      "REQUEST_CREATE 0\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0], Event::Create(TransactionId::Root()));
+  EXPECT_EQ((*parsed)[1], Event::RequestCreate(T({0})));
+}
+
+TEST(ScheduleIoTest, BadInputReportsLine) {
+  auto r1 = ScheduleFromText("CREATE -\nBOGUS 0\n");
+  ASSERT_FALSE(r1.ok());
+  EXPECT_NE(r1.status().message().find("line 2"), std::string::npos);
+  auto r2 = ScheduleFromText("CREATE\n");
+  EXPECT_FALSE(r2.ok());
+  auto r3 = ScheduleFromText("CREATE 0 z=9\n");
+  EXPECT_FALSE(r3.ok());
+}
+
+TEST(ScheduleIoTest, RealRunRoundTrips) {
+  SystemType st = MakeCanonicalSystemType();
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    auto run = RandomLockingRun(st, seed);
+    ASSERT_TRUE(run.ok());
+    auto parsed = ScheduleFromText(ScheduleToText(*run));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, *run) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace nestedtx

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "explore/workload.h"
+#include "tx/system_type_io.h"
+
+namespace nestedtx {
+namespace {
+
+void ExpectSameType(const SystemType& a, const SystemType& b) {
+  ASSERT_EQ(a.NumObjects(), b.NumObjects());
+  for (ObjectId x = 0; x < a.NumObjects(); ++x) {
+    EXPECT_EQ(a.Object(x).name, b.Object(x).name);
+    EXPECT_EQ(a.Object(x).data_type, b.Object(x).data_type);
+    EXPECT_EQ(a.Object(x).initial_value, b.Object(x).initial_value);
+  }
+  ASSERT_EQ(a.AllTransactions(), b.AllTransactions());
+  ASSERT_EQ(a.AllAccesses(), b.AllAccesses());
+  for (const TransactionId& t : a.AllAccesses()) {
+    EXPECT_EQ(a.Access(t).object, b.Access(t).object);
+    EXPECT_EQ(a.Access(t).kind, b.Access(t).kind);
+    EXPECT_EQ(a.Access(t).op, b.Access(t).op);
+  }
+}
+
+TEST(SystemTypeIoTest, CanonicalRoundTrip) {
+  SystemType st = MakeCanonicalSystemType();
+  auto parsed = SystemTypeFromText(SystemTypeToText(st));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectSameType(st, *parsed);
+}
+
+TEST(SystemTypeIoTest, RandomTypesRoundTrip) {
+  WorkloadParams p;
+  p.num_objects = 3;
+  p.num_top_level = 4;
+  p.max_extra_depth = 3;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    SystemType st = MakeRandomSystemType(p, seed);
+    auto parsed = SystemTypeFromText(SystemTypeToText(st));
+    ASSERT_TRUE(parsed.ok()) << "seed " << seed << ": "
+                             << parsed.status().ToString();
+    ExpectSameType(st, *parsed);
+  }
+}
+
+TEST(SystemTypeIoTest, CommentsAndBlanksIgnored) {
+  auto parsed = SystemTypeFromText(
+      "# system type\n"
+      "\n"
+      "object x counter 0\n"
+      "txn 0\n"
+      "access 0.0 x=0 kind=read op=0,0\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->NumObjects(), 1u);
+  EXPECT_EQ(parsed->AllAccesses().size(), 1u);
+}
+
+TEST(SystemTypeIoTest, GappedChildIndicesAccepted) {
+  // Traces leave gaps (failed operations); index 2 after index 0 is fine.
+  auto parsed = SystemTypeFromText(
+      "object x cell -9223372036854775808\n"
+      "txn 0\n"
+      "access 0.0 x=0 kind=write op=1,5\n"
+      "access 0.2 x=0 kind=read op=0,0\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->AllAccesses().size(), 2u);
+}
+
+TEST(SystemTypeIoTest, RejectsMalformed) {
+  // Unknown directive.
+  EXPECT_FALSE(SystemTypeFromText("frobnicate 1\n").ok());
+  // Access before its parent.
+  EXPECT_FALSE(
+      SystemTypeFromText("object x counter 0\n"
+                         "access 0.0 x=0 kind=read op=0,0\n")
+          .ok());
+  // Duplicate child index.
+  EXPECT_FALSE(
+      SystemTypeFromText("object x counter 0\n"
+                         "txn 0\n"
+                         "access 0.0 x=0 kind=read op=0,0\n"
+                         "access 0.0 x=0 kind=read op=0,0\n")
+          .ok());
+  // Access to unknown object.
+  EXPECT_FALSE(
+      SystemTypeFromText("object x counter 0\n"
+                         "txn 0\n"
+                         "access 0.0 x=7 kind=read op=0,0\n")
+          .ok());
+  // Missing access fields.
+  EXPECT_FALSE(
+      SystemTypeFromText("object x counter 0\n"
+                         "txn 0\n"
+                         "access 0.0 x=0\n")
+          .ok());
+  // T0 cannot be declared.
+  EXPECT_FALSE(SystemTypeFromText("txn -\n").ok());
+}
+
+}  // namespace
+}  // namespace nestedtx

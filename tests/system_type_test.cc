@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "explore/workload.h"
+#include "serial/data_type.h"
+#include "tx/system_type.h"
+
+namespace nestedtx {
+namespace {
+
+TEST(SystemTypeTest, BuilderAssignsSequentialChildIndices) {
+  SystemTypeBuilder b;
+  const ObjectId x = b.AddObject("x", "register");
+  const TransactionId t1 = b.AddInternal(TransactionId::Root());
+  const TransactionId t2 = b.AddInternal(TransactionId::Root());
+  const TransactionId a = b.AddAccess(t1, x, AccessKind::kRead, {0, 0});
+  EXPECT_EQ(t1, TransactionId::Root().Child(0));
+  EXPECT_EQ(t2, TransactionId::Root().Child(1));
+  EXPECT_EQ(a, t1.Child(0));
+}
+
+TEST(SystemTypeTest, ContainsAndKinds) {
+  SystemTypeBuilder b;
+  const ObjectId x = b.AddObject("x", "register");
+  const TransactionId t = b.AddInternal(TransactionId::Root());
+  const TransactionId a = b.AddAccess(t, x, AccessKind::kWrite, {1, 5});
+  SystemType st = b.Build();
+
+  EXPECT_TRUE(st.Contains(TransactionId::Root()));
+  EXPECT_TRUE(st.IsInternal(TransactionId::Root()));
+  EXPECT_TRUE(st.Contains(t));
+  EXPECT_TRUE(st.IsInternal(t));
+  EXPECT_FALSE(st.IsAccess(t));
+  EXPECT_TRUE(st.IsAccess(a));
+  EXPECT_FALSE(st.Contains(TransactionId::Root().Child(9)));
+
+  EXPECT_EQ(st.Access(a).object, x);
+  EXPECT_EQ(st.Access(a).kind, AccessKind::kWrite);
+  EXPECT_EQ(st.Access(a).op.arg, 5);
+}
+
+TEST(SystemTypeTest, ChildrenAndAccessPartition) {
+  SystemTypeBuilder b;
+  const ObjectId x0 = b.AddObject("x0", "counter");
+  const ObjectId x1 = b.AddObject("x1", "counter");
+  const TransactionId t = b.AddInternal(TransactionId::Root());
+  const TransactionId a0 = b.AddAccess(t, x0, AccessKind::kRead, {0, 0});
+  const TransactionId a1 = b.AddAccess(t, x1, AccessKind::kWrite, {1, 1});
+  const TransactionId a2 = b.AddAccess(t, x0, AccessKind::kWrite, {1, 2});
+  SystemType st = b.Build();
+
+  ASSERT_EQ(st.Children(t).size(), 3u);
+  EXPECT_EQ(st.AccessesOf(x0), (std::vector<TransactionId>{a0, a2}));
+  EXPECT_EQ(st.AccessesOf(x1), (std::vector<TransactionId>{a1}));
+  EXPECT_EQ(st.AllAccesses().size(), 3u);
+  EXPECT_EQ(st.NumObjects(), 2u);
+  EXPECT_TRUE(st.Children(a0).empty());
+}
+
+TEST(SystemTypeTest, ValidatePassesOnWellBuiltType) {
+  SystemType st = MakeCanonicalSystemType();
+  EXPECT_TRUE(st.Validate().ok());
+  EXPECT_TRUE(ValidateAccessSemantics(st).ok());
+}
+
+TEST(SystemTypeTest, ValidateAccessSemanticsRejectsMutatingRead) {
+  SystemTypeBuilder b;
+  const ObjectId x = b.AddObject("x", "counter");
+  const TransactionId t = b.AddInternal(TransactionId::Root());
+  // A "read" access that increments — semantic condition 3 violation.
+  b.AddAccess(t, x, AccessKind::kRead, {ops::kAdd, 1});
+  SystemType st = b.Build();
+  EXPECT_TRUE(st.Validate().ok());
+  Status s = ValidateAccessSemantics(st);
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+}
+
+TEST(SystemTypeTest, ValidateRejectsUnknownDataType) {
+  SystemTypeBuilder b;
+  const ObjectId x = b.AddObject("x", "btree");  // not registered
+  const TransactionId t = b.AddInternal(TransactionId::Root());
+  b.AddAccess(t, x, AccessKind::kRead, {0, 0});
+  SystemType st = b.Build();
+  EXPECT_FALSE(ValidateAccessSemantics(st).ok());
+}
+
+TEST(SystemTypeTest, AllTransactionsPreOrder) {
+  SystemTypeBuilder b;
+  const ObjectId x = b.AddObject("x", "register");
+  const TransactionId t1 = b.AddInternal(TransactionId::Root());
+  const TransactionId t2 = b.AddInternal(TransactionId::Root());
+  const TransactionId a = b.AddAccess(t1, x, AccessKind::kRead, {0, 0});
+  SystemType st = b.Build();
+  const auto& all = st.AllTransactions();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], t1);
+  EXPECT_EQ(all[1], a);   // pre-order: t1's subtree before t2
+  EXPECT_EQ(all[2], t2);
+}
+
+TEST(DataTypeTest, RegisterSemantics) {
+  const DataType* dt = FindDataType("register");
+  ASSERT_NE(dt, nullptr);
+  auto [s1, v1] = dt->Apply(10, {ops::kRead, 0});
+  EXPECT_EQ(s1, 10);
+  EXPECT_EQ(v1, 10);
+  auto [s2, v2] = dt->Apply(10, {ops::kWrite, 99});
+  EXPECT_EQ(s2, 99);
+  EXPECT_EQ(v2, 10);  // returns old value
+  EXPECT_TRUE(dt->IsReadOnly({ops::kRead, 0}));
+  EXPECT_FALSE(dt->IsReadOnly({ops::kWrite, 0}));
+}
+
+TEST(DataTypeTest, CounterSemantics) {
+  const DataType* dt = FindDataType("counter");
+  ASSERT_NE(dt, nullptr);
+  auto [s, v] = dt->Apply(5, {ops::kAdd, 3});
+  EXPECT_EQ(s, 8);
+  EXPECT_EQ(v, 8);
+}
+
+TEST(DataTypeTest, AccountWithdrawInsufficient) {
+  const DataType* dt = FindDataType("account");
+  ASSERT_NE(dt, nullptr);
+  auto [s, v] = dt->Apply(10, {ops::kWithdraw, 20});
+  EXPECT_EQ(s, 10);  // unchanged
+  EXPECT_EQ(v, -1);  // failure sentinel
+  auto [s2, v2] = dt->Apply(30, {ops::kWithdraw, 20});
+  EXPECT_EQ(s2, 10);
+  EXPECT_EQ(v2, 10);
+}
+
+TEST(DataTypeTest, Set64Semantics) {
+  const DataType* dt = FindDataType("set64");
+  ASSERT_NE(dt, nullptr);
+  auto [s1, v1] = dt->Apply(0, {ops::kInsert, 3});
+  EXPECT_EQ(s1, 8);
+  EXPECT_EQ(v1, 0);
+  auto [s2, v2] = dt->Apply(8, {ops::kContains, 3});
+  EXPECT_EQ(s2, 8);
+  EXPECT_EQ(v2, 1);
+  auto [s3, v3] = dt->Apply(8, {ops::kRemove, 3});
+  EXPECT_EQ(s3, 0);
+  EXPECT_EQ(v3, 1);
+}
+
+TEST(DataTypeTest, UnknownTypeReturnsNull) {
+  EXPECT_EQ(FindDataType("no-such-type"), nullptr);
+}
+
+TEST(WorkloadTest, RandomSystemTypeIsValid) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    WorkloadParams p;
+    p.num_objects = 3;
+    p.num_top_level = 4;
+    SystemType st = MakeRandomSystemType(p, seed);
+    EXPECT_TRUE(st.Validate().ok()) << "seed " << seed;
+    EXPECT_TRUE(ValidateAccessSemantics(st).ok()) << "seed " << seed;
+    EXPECT_EQ(st.Children(TransactionId::Root()).size(), 4u);
+  }
+}
+
+TEST(WorkloadTest, RandomSystemTypeDeterministicInSeed) {
+  WorkloadParams p;
+  SystemType a = MakeRandomSystemType(p, 7);
+  SystemType b = MakeRandomSystemType(p, 7);
+  EXPECT_EQ(a.AllTransactions(), b.AllTransactions());
+  EXPECT_EQ(a.AllAccesses(), b.AllAccesses());
+}
+
+}  // namespace
+}  // namespace nestedtx

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "tx/transaction_id.h"
+
+namespace nestedtx {
+namespace {
+
+TEST(TransactionIdTest, RootProperties) {
+  TransactionId root = TransactionId::Root();
+  EXPECT_TRUE(root.IsRoot());
+  EXPECT_EQ(root.Depth(), 0u);
+  EXPECT_EQ(root.ToString(), "T0");
+}
+
+TEST(TransactionIdTest, ChildAndParentRoundTrip) {
+  TransactionId t = TransactionId::Root().Child(2).Child(0);
+  EXPECT_EQ(t.ToString(), "T0.2.0");
+  EXPECT_EQ(t.Depth(), 2u);
+  EXPECT_EQ(t.Parent().ToString(), "T0.2");
+  EXPECT_EQ(t.Parent().Parent(), TransactionId::Root());
+}
+
+TEST(TransactionIdTest, AncestorIsReflexive) {
+  TransactionId t = TransactionId::Root().Child(1);
+  EXPECT_TRUE(t.IsAncestorOf(t));
+  EXPECT_TRUE(t.IsDescendantOf(t));
+  EXPECT_FALSE(t.IsProperAncestorOf(t));
+}
+
+TEST(TransactionIdTest, AncestorChains) {
+  TransactionId root = TransactionId::Root();
+  TransactionId a = root.Child(0);
+  TransactionId ab = a.Child(3);
+  EXPECT_TRUE(root.IsAncestorOf(ab));
+  EXPECT_TRUE(a.IsAncestorOf(ab));
+  EXPECT_TRUE(root.IsProperAncestorOf(ab));
+  EXPECT_FALSE(ab.IsAncestorOf(a));
+  EXPECT_TRUE(ab.IsDescendantOf(root));
+}
+
+TEST(TransactionIdTest, UnrelatedBranches) {
+  TransactionId a = TransactionId::Root().Child(0);
+  TransactionId b = TransactionId::Root().Child(1);
+  EXPECT_FALSE(a.IsAncestorOf(b));
+  EXPECT_FALSE(b.IsAncestorOf(a));
+}
+
+TEST(TransactionIdTest, SameIndexDifferentParent) {
+  TransactionId a = TransactionId::Root().Child(0).Child(5);
+  TransactionId b = TransactionId::Root().Child(1).Child(5);
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(a.IsAncestorOf(b));
+}
+
+TEST(TransactionIdTest, Lca) {
+  TransactionId root = TransactionId::Root();
+  TransactionId a = root.Child(0).Child(1);
+  TransactionId b = root.Child(0).Child(2).Child(0);
+  EXPECT_EQ(a.Lca(b), root.Child(0));
+  EXPECT_EQ(a.Lca(a), a);
+  EXPECT_EQ(a.Lca(root), root);
+  EXPECT_EQ(root.Child(1).Lca(root.Child(2)), root);
+  // lca with own ancestor is the ancestor
+  EXPECT_EQ(b.Lca(root.Child(0)), root.Child(0));
+}
+
+TEST(TransactionIdTest, AncestorsToRoot) {
+  TransactionId t = TransactionId::Root().Child(1).Child(2);
+  auto chain = t.AncestorsToRoot();
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0], t);
+  EXPECT_EQ(chain[1], t.Parent());
+  EXPECT_EQ(chain[2], TransactionId::Root());
+}
+
+TEST(TransactionIdTest, ChildOfAncestorToward) {
+  TransactionId root = TransactionId::Root();
+  TransactionId t = root.Child(1).Child(2).Child(3);
+  EXPECT_EQ(t.ChildOfAncestorToward(root), root.Child(1));
+  EXPECT_EQ(t.ChildOfAncestorToward(root.Child(1)), root.Child(1).Child(2));
+}
+
+TEST(TransactionIdTest, OrderingIsLexicographic) {
+  TransactionId root = TransactionId::Root();
+  EXPECT_LT(root, root.Child(0));
+  EXPECT_LT(root.Child(0), root.Child(0).Child(0));
+  EXPECT_LT(root.Child(0).Child(9), root.Child(1));
+}
+
+TEST(TransactionIdTest, HashUsableInUnorderedSet) {
+  std::unordered_set<TransactionId, TransactionIdHash> set;
+  TransactionId root = TransactionId::Root();
+  set.insert(root);
+  set.insert(root.Child(1));
+  set.insert(root.Child(1));  // duplicate
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count(root.Child(1)));
+  EXPECT_FALSE(set.count(root.Child(2)));
+}
+
+}  // namespace
+}  // namespace nestedtx

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/random.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace nestedtx {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("key 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "key 42");
+  EXPECT_EQ(s.ToString(), "NotFound: key 42");
+}
+
+TEST(StatusTest, EachFactoryMapsToItsPredicate) {
+  EXPECT_TRUE(Status::InvalidArgument("").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("").IsAlreadyExists());
+  EXPECT_TRUE(Status::FailedPrecondition("").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Aborted("").IsAborted());
+  EXPECT_TRUE(Status::Deadlock("").IsDeadlock());
+  EXPECT_TRUE(Status::Busy("").IsBusy());
+  EXPECT_TRUE(Status::TimedOut("").IsTimedOut());
+  EXPECT_TRUE(Status::Internal("").IsInternal());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Status FailsFast() {
+  RETURN_IF_ERROR(Status::Busy("locked"));
+  return Status::Internal("unreachable");
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(FailsFast().IsBusy());
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Uniform(17), 17u);
+  EXPECT_EQ(rng.Uniform(0), 0u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all values hit
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyFair) {
+  Rng rng(13);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.Bernoulli(0.5);
+  EXPECT_GT(heads, 4500);
+  EXPECT_LT(heads, 5500);
+}
+
+TEST(RngTest, WeightedrespectsZeros) {
+  Rng rng(17);
+  std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Weighted(w), 1u);
+}
+
+TEST(RngTest, WeightedProportional) {
+  Rng rng(19);
+  std::vector<double> w = {1.0, 3.0};
+  int hits1 = 0;
+  for (int i = 0; i < 10000; ++i) hits1 += rng.Weighted(w) == 1;
+  EXPECT_GT(hits1, 7000);
+  EXPECT_LT(hits1, 8000);
+}
+
+TEST(RngTest, SplitIndependent) {
+  Rng a(23);
+  Rng b = a.Split();
+  // The two streams should diverge.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  Rng rng(29);
+  Zipf z(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[z.Next(rng)];
+  for (int c : counts) {
+    EXPECT_GT(c, 1500);
+    EXPECT_LT(c, 2500);
+  }
+}
+
+TEST(ZipfTest, SkewedWhenThetaHigh) {
+  Rng rng(31);
+  Zipf z(100, 0.99);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[z.Next(rng)];
+  // Hottest key dominates any mid-range key.
+  EXPECT_GT(counts[0], 10 * std::max(counts[50], 1));
+}
+
+TEST(ZipfTest, StaysInRange) {
+  Rng rng(37);
+  Zipf z(5, 0.9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(z.Next(rng), 5u);
+}
+
+TEST(StringsTest, StrCat) {
+  EXPECT_EQ(StrCat("a", 1, "-", 2.5), "a1-2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StringsTest, Join) {
+  std::vector<int> v = {1, 2, 3};
+  EXPECT_EQ(Join(v, ","), "1,2,3");
+  EXPECT_EQ(Join(std::vector<int>{}, ","), "");
+}
+
+TEST(StringsTest, Split) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+}  // namespace
+}  // namespace nestedtx

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "explore/workload.h"
+#include "serial/data_type.h"
+#include "tx/visibility.h"
+
+namespace nestedtx {
+namespace {
+
+TransactionId T(std::initializer_list<uint32_t> path) {
+  return TransactionId(std::vector<uint32_t>(path));
+}
+
+TEST(FateIndexTest, CommittedToWalksTheChain) {
+  // T0.0.1 committed to T0.0 needs COMMIT(T0.0.1) only;
+  // committed to T0 needs COMMIT(T0.0.1) and COMMIT(T0.0).
+  Schedule s = {Event::Commit(T({0, 1}))};
+  FateIndex idx = FateIndex::Of(s);
+  EXPECT_TRUE(idx.IsCommittedTo(T({0, 1}), T({0})));
+  EXPECT_FALSE(idx.IsCommittedTo(T({0, 1}), TransactionId::Root()));
+  s.push_back(Event::Commit(T({0})));
+  idx = FateIndex::Of(s);
+  EXPECT_TRUE(idx.IsCommittedTo(T({0, 1}), TransactionId::Root()));
+}
+
+TEST(FateIndexTest, CommittedToSelfIsTrivial) {
+  FateIndex idx;
+  EXPECT_TRUE(idx.IsCommittedTo(T({0}), T({0})));
+}
+
+TEST(FateIndexTest, AncestorAlwaysVisibleToDescendant) {
+  FateIndex idx;  // nothing committed
+  EXPECT_TRUE(idx.IsVisibleTo(T({0}), T({0, 1, 2})));
+  EXPECT_TRUE(idx.IsVisibleTo(TransactionId::Root(), T({3})));
+}
+
+TEST(FateIndexTest, UncommittedNotVisibleAcrossBranches) {
+  FateIndex idx;
+  EXPECT_FALSE(idx.IsVisibleTo(T({0}), T({1})));
+  idx.committed.insert(T({0}));
+  EXPECT_TRUE(idx.IsVisibleTo(T({0}), T({1})));
+}
+
+TEST(FateIndexTest, VisibilityNeedsFullChainToLca) {
+  FateIndex idx;
+  idx.committed.insert(T({0, 1}));
+  // lca(T0.0.1, T0.2) = T0: need COMMIT(T0.0.1) and COMMIT(T0.0).
+  EXPECT_FALSE(idx.IsVisibleTo(T({0, 1}), T({2})));
+  idx.committed.insert(T({0}));
+  EXPECT_TRUE(idx.IsVisibleTo(T({0, 1}), T({2})));
+  // lca(T0.0.1, T0.0.2) = T0.0: only COMMIT(T0.0.1) needed.
+  EXPECT_TRUE(idx.IsVisibleTo(T({0, 1}), T({0, 2})));
+}
+
+TEST(FateIndexTest, OrphanIsReflexiveOverAncestors) {
+  FateIndex idx;
+  idx.aborted.insert(T({1}));
+  EXPECT_TRUE(idx.IsOrphan(T({1})));
+  EXPECT_TRUE(idx.IsOrphan(T({1, 0, 2})));
+  EXPECT_FALSE(idx.IsOrphan(T({2})));
+  EXPECT_FALSE(idx.IsOrphan(TransactionId::Root()));
+}
+
+TEST(VisibilityTest, IsLive) {
+  Schedule s = {Event::Create(T({0}))};
+  EXPECT_TRUE(IsLive(s, T({0})));
+  EXPECT_FALSE(IsLive(s, T({1})));
+  s.push_back(Event::Commit(T({0})));
+  EXPECT_FALSE(IsLive(s, T({0})));
+  Schedule s2 = {Event::Create(T({1})), Event::Abort(T({1}))};
+  EXPECT_FALSE(IsLive(s2, T({1})));
+}
+
+TEST(VisibilityTest, VisibleFiltersByTransactionOf) {
+  // Two siblings; only the committed one's events are visible to the other.
+  const TransactionId a = T({0});
+  const TransactionId b = T({1});
+  Schedule s = {
+      Event::Create(a),
+      Event::RequestCommit(a, 1),
+      Event::Create(b),
+      Event::Commit(a),
+  };
+  Schedule vis_b = Visible(s, b);
+  // CREATE(a) and REQUEST_COMMIT(a,1) have transaction a, now visible to b
+  // via COMMIT(a). COMMIT(a) itself has transaction T0 (parent), visible.
+  // CREATE(b) has transaction b, visible to itself.
+  EXPECT_EQ(vis_b.size(), 4u);
+  // Before the COMMIT, a's events are invisible to b.
+  Schedule prefix(s.begin(), s.end() - 1);
+  EXPECT_EQ(Visible(prefix, b).size(), 1u);  // only CREATE(b)
+}
+
+TEST(VisibilityTest, VisibleExcludesInformEvents) {
+  Schedule s = {Event::Commit(T({0})), Event::InformCommitAt(0, T({0}))};
+  Schedule vis = Visible(s, TransactionId::Root());
+  ASSERT_EQ(vis.size(), 1u);
+  EXPECT_EQ(vis[0].kind, EventKind::kCommit);
+}
+
+TEST(VisibilityTest, CommittedAtRequiresAscendingOrder) {
+  // Chain T0.0.1 -> T0.0 informed in ascending order: OK.
+  Schedule good = {Event::InformCommitAt(0, T({0, 1})),
+                   Event::InformCommitAt(0, T({0}))};
+  EXPECT_TRUE(
+      IsCommittedAtTo(good, 0, T({0, 1}), TransactionId::Root()));
+  // Descending order does not certify.
+  Schedule bad = {Event::InformCommitAt(0, T({0})),
+                  Event::InformCommitAt(0, T({0, 1}))};
+  EXPECT_FALSE(IsCommittedAtTo(bad, 0, T({0, 1}), TransactionId::Root()));
+  // Wrong object doesn't count.
+  Schedule other = {Event::InformCommitAt(1, T({0, 1})),
+                    Event::InformCommitAt(1, T({0}))};
+  EXPECT_FALSE(
+      IsCommittedAtTo(other, 0, T({0, 1}), TransactionId::Root()));
+}
+
+TEST(VisibilityTest, OrphanAtX) {
+  Schedule s = {Event::InformAbortAt(2, T({1}))};
+  EXPECT_TRUE(IsOrphanAt(s, 2, T({1, 0})));
+  EXPECT_FALSE(IsOrphanAt(s, 1, T({1, 0})));
+  EXPECT_FALSE(IsOrphanAt(s, 2, T({0})));
+}
+
+TEST(VisibilityTest, WriteSubsequenceAndEssence) {
+  SystemType st = MakeCanonicalSystemType();
+  const TransactionId read_x0 = T({0, 0});
+  const TransactionId write_x0 = T({0, 1});
+  ASSERT_EQ(st.Access(read_x0).kind, AccessKind::kRead);
+  ASSERT_EQ(st.Access(write_x0).kind, AccessKind::kWrite);
+  Schedule s = {
+      Event::Create(read_x0),
+      Event::RequestCommit(read_x0, 0),
+      Event::Create(write_x0),
+      Event::RequestCommit(write_x0, 5),
+  };
+  Schedule w = WriteSubsequence(st, s);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0].txn, write_x0);
+  Schedule e = Essence(st, s);
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_EQ(e[0], Event::Create(write_x0));
+  EXPECT_EQ(e[1], Event::RequestCommit(write_x0, 5));
+  EXPECT_TRUE(WriteEqual(st, s, e));
+}
+
+TEST(VisibilityTest, WriteEquivalenceAcceptsReadReordering) {
+  SystemType st = MakeCanonicalSystemType();
+  const TransactionId t1 = T({0});
+  const TransactionId read_x0 = T({0, 0});
+  const TransactionId write_x0 = T({0, 1});
+  // Same events, reads and writes at X0 in different relative order, but
+  // write subsequence and per-transaction projections identical.
+  Schedule a = {
+      Event::Create(t1),
+      Event::RequestCreate(read_x0),
+      Event::RequestCreate(write_x0),
+      Event::Create(read_x0),
+      Event::RequestCommit(read_x0, 0),
+      Event::Create(write_x0),
+      Event::RequestCommit(write_x0, 5),
+  };
+  Schedule b = {
+      Event::Create(t1),
+      Event::RequestCreate(read_x0),
+      Event::RequestCreate(write_x0),
+      Event::Create(write_x0),
+      Event::Create(read_x0),
+      Event::RequestCommit(read_x0, 0),
+      Event::RequestCommit(write_x0, 5),
+  };
+  EXPECT_TRUE(WriteEquivalent(st, a, b));
+  // Changing a write value breaks condition 1 (different event multiset).
+  Schedule c = b;
+  c.back() = Event::RequestCommit(write_x0, 6);
+  EXPECT_FALSE(WriteEquivalent(st, a, c));
+  // Reordering events of one transaction breaks condition 2.
+  Schedule d = a;
+  std::swap(d[1], d[2]);
+  EXPECT_FALSE(WriteEquivalent(st, a, d));
+}
+
+TEST(VisibilityTest, WriteEquivalenceDetectsWriteReorder) {
+  SystemTypeBuilder builder;
+  const ObjectId x = builder.AddObject("x", "counter");
+  const TransactionId t = builder.AddInternal(TransactionId::Root());
+  const TransactionId w1 =
+      builder.AddAccess(t, x, AccessKind::kWrite, {ops::kAdd, 1});
+  const TransactionId w2 =
+      builder.AddAccess(t, x, AccessKind::kWrite, {ops::kAdd, 2});
+  SystemType st = builder.Build();
+  Schedule a = {Event::Create(w1), Event::RequestCommit(w1, 1),
+                Event::Create(w2), Event::RequestCommit(w2, 3)};
+  Schedule b = {Event::Create(w2), Event::RequestCommit(w2, 3),
+                Event::Create(w1), Event::RequestCommit(w1, 1)};
+  // Same events but the write order at X differs -> not write-equivalent.
+  EXPECT_FALSE(WriteEquivalent(st, a, b));
+}
+
+}  // namespace
+}  // namespace nestedtx

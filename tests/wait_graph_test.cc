@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "core/wait_graph.h"
+
+namespace nestedtx {
+namespace {
+
+TransactionId T(std::initializer_list<uint32_t> path) {
+  return TransactionId(std::vector<uint32_t>(path));
+}
+
+TEST(WaitGraphTest, NoCycleSimpleChain) {
+  WaitGraph g;
+  EXPECT_TRUE(g.AddWait(T({0}), {T({1})}).ok());
+  EXPECT_TRUE(g.AddWait(T({1}), {T({2})}).ok());
+  EXPECT_EQ(g.NumWaiters(), 2u);
+}
+
+TEST(WaitGraphTest, DirectCycleDetected) {
+  WaitGraph g;
+  ASSERT_TRUE(g.AddWait(T({0}), {T({1})}).ok());
+  Status s = g.AddWait(T({1}), {T({0})});
+  EXPECT_TRUE(s.IsDeadlock());
+  // The failed wait left no edge behind.
+  EXPECT_EQ(g.NumWaiters(), 1u);
+}
+
+TEST(WaitGraphTest, TransitiveCycleDetected) {
+  WaitGraph g;
+  ASSERT_TRUE(g.AddWait(T({0}), {T({1})}).ok());
+  ASSERT_TRUE(g.AddWait(T({1}), {T({2})}).ok());
+  EXPECT_TRUE(g.AddWait(T({2}), {T({0})}).IsDeadlock());
+}
+
+TEST(WaitGraphTest, AncestorHolderIgnored) {
+  WaitGraph g;
+  // Waiting "on" one's own ancestor is not a real conflict edge.
+  EXPECT_TRUE(g.AddWait(T({0, 1}), {T({0})}).ok());
+  EXPECT_EQ(g.NumWaiters(), 0u);  // edge skipped entirely
+}
+
+TEST(WaitGraphTest, DescendantWaitClosesCycleThroughParent) {
+  WaitGraph g;
+  // T0.0's child waits on T0.1; T0.1 then waits on T0.0 — T0.0 cannot
+  // finish until its child does, so this is a deadlock.
+  ASSERT_TRUE(g.AddWait(T({0, 0}), {T({1})}).ok());
+  EXPECT_TRUE(g.AddWait(T({1}), {T({0})}).IsDeadlock());
+}
+
+TEST(WaitGraphTest, RemoveWaitBreaksCycle) {
+  WaitGraph g;
+  ASSERT_TRUE(g.AddWait(T({0}), {T({1})}).ok());
+  g.RemoveWait(T({0}));
+  EXPECT_TRUE(g.AddWait(T({1}), {T({0})}).ok());
+}
+
+TEST(WaitGraphTest, ReAddReplacesEdges) {
+  WaitGraph g;
+  ASSERT_TRUE(g.AddWait(T({0}), {T({1})}).ok());
+  // Re-register with a different holder set; the old edge to T0.1 is
+  // gone, so T0.1 -> T0.0 -> T0.2 is a chain, not a cycle.
+  ASSERT_TRUE(g.AddWait(T({0}), {T({2})}).ok());
+  EXPECT_TRUE(g.AddWait(T({1}), {T({0})}).ok());
+}
+
+TEST(WaitGraphTest, ReAddReplacesEdgesNoStaleCycle) {
+  WaitGraph g;
+  ASSERT_TRUE(g.AddWait(T({0}), {T({1})}).ok());
+  ASSERT_TRUE(g.AddWait(T({0}), {T({2})}).ok());  // replaces
+  // Old edge T0.0 -> T0.1 must be gone: T0.1 waiting on ... nothing that
+  // reaches T0.1. T0.2 -> T0.1 creates chain T0.0->T0.2->T0.1; adding
+  // T0.1 -> T0.0 NOW would close a genuine cycle.
+  ASSERT_TRUE(g.AddWait(T({2}), {T({3})}).ok());
+  EXPECT_TRUE(g.AddWait(T({3}), {T({0})}).IsDeadlock());
+}
+
+TEST(WaitGraphTest, ParallelBranchesNoFalseCycle) {
+  WaitGraph g;
+  EXPECT_TRUE(g.AddWait(T({0}), {T({2})}).ok());
+  EXPECT_TRUE(g.AddWait(T({1}), {T({2})}).ok());
+  EXPECT_TRUE(g.AddWait(T({3}), {T({2})}).ok());
+  EXPECT_EQ(g.NumWaiters(), 3u);
+}
+
+}  // namespace
+}  // namespace nestedtx

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "explore/workload.h"
+#include "tx/well_formed.h"
+
+namespace nestedtx {
+namespace {
+
+TransactionId T(std::initializer_list<uint32_t> path) {
+  return TransactionId(std::vector<uint32_t>(path));
+}
+
+// ---------------------------------------------------------------------
+// Transaction sequences (§3.1).
+// ---------------------------------------------------------------------
+
+TEST(TransactionWellFormedTest, HappyPath) {
+  const TransactionId t = T({0});
+  Schedule s = {
+      Event::Create(t),
+      Event::RequestCreate(t.Child(0)),
+      Event::RequestCreate(t.Child(1)),
+      Event::ReportCommit(t.Child(0), 1),
+      Event::ReportAbort(t.Child(1)),
+      Event::RequestCommit(t, 1),
+  };
+  EXPECT_TRUE(CheckTransactionWellFormed(s, t).ok());
+}
+
+TEST(TransactionWellFormedTest, DuplicateCreateRejected) {
+  const TransactionId t = T({0});
+  Schedule s = {Event::Create(t), Event::Create(t)};
+  EXPECT_FALSE(CheckTransactionWellFormed(s, t).ok());
+}
+
+TEST(TransactionWellFormedTest, RequestCreateBeforeCreateRejected) {
+  const TransactionId t = T({0});
+  Schedule s = {Event::RequestCreate(t.Child(0))};
+  EXPECT_FALSE(CheckTransactionWellFormed(s, t).ok());
+}
+
+TEST(TransactionWellFormedTest, DuplicateRequestCreateRejected) {
+  const TransactionId t = T({0});
+  Schedule s = {Event::Create(t), Event::RequestCreate(t.Child(0)),
+                Event::RequestCreate(t.Child(0))};
+  EXPECT_FALSE(CheckTransactionWellFormed(s, t).ok());
+}
+
+TEST(TransactionWellFormedTest, RequestCreateAfterRequestCommitRejected) {
+  const TransactionId t = T({0});
+  Schedule s = {Event::Create(t), Event::RequestCommit(t, 0),
+                Event::RequestCreate(t.Child(0))};
+  EXPECT_FALSE(CheckTransactionWellFormed(s, t).ok());
+}
+
+TEST(TransactionWellFormedTest, ReportWithoutRequestCreateRejected) {
+  const TransactionId t = T({0});
+  EXPECT_FALSE(CheckTransactionWellFormed(
+                   {Event::Create(t), Event::ReportCommit(t.Child(0), 1)}, t)
+                   .ok());
+  EXPECT_FALSE(CheckTransactionWellFormed(
+                   {Event::Create(t), Event::ReportAbort(t.Child(0))}, t)
+                   .ok());
+}
+
+TEST(TransactionWellFormedTest, ConflictingReportsRejected) {
+  const TransactionId t = T({0});
+  Schedule base = {Event::Create(t), Event::RequestCreate(t.Child(0))};
+  {
+    Schedule s = base;
+    s.push_back(Event::ReportCommit(t.Child(0), 1));
+    s.push_back(Event::ReportAbort(t.Child(0)));
+    EXPECT_FALSE(CheckTransactionWellFormed(s, t).ok());
+  }
+  {
+    Schedule s = base;
+    s.push_back(Event::ReportAbort(t.Child(0)));
+    s.push_back(Event::ReportCommit(t.Child(0), 1));
+    EXPECT_FALSE(CheckTransactionWellFormed(s, t).ok());
+  }
+  {
+    // Same value repeated is allowed (repeated instances of one report).
+    Schedule s = base;
+    s.push_back(Event::ReportCommit(t.Child(0), 1));
+    s.push_back(Event::ReportCommit(t.Child(0), 1));
+    EXPECT_TRUE(CheckTransactionWellFormed(s, t).ok());
+  }
+  {
+    // Different values conflict.
+    Schedule s = base;
+    s.push_back(Event::ReportCommit(t.Child(0), 1));
+    s.push_back(Event::ReportCommit(t.Child(0), 2));
+    EXPECT_FALSE(CheckTransactionWellFormed(s, t).ok());
+  }
+}
+
+TEST(TransactionWellFormedTest, DuplicateRequestCommitRejected) {
+  const TransactionId t = T({0});
+  Schedule s = {Event::Create(t), Event::RequestCommit(t, 0),
+                Event::RequestCommit(t, 0)};
+  EXPECT_FALSE(CheckTransactionWellFormed(s, t).ok());
+}
+
+TEST(TransactionWellFormedTest, RequestCommitBeforeCreateRejected) {
+  const TransactionId t = T({0});
+  EXPECT_FALSE(
+      CheckTransactionWellFormed({Event::RequestCommit(t, 0)}, t).ok());
+}
+
+// ---------------------------------------------------------------------
+// Basic object sequences (§3.2).
+// ---------------------------------------------------------------------
+
+class ObjectWellFormedTest : public ::testing::Test {
+ protected:
+  ObjectWellFormedTest() : st_(MakeCanonicalSystemType()) {
+    read_x0_ = TransactionId::Root().Child(0).Child(0);
+    write_x0_ = TransactionId::Root().Child(0).Child(1);
+  }
+  SystemType st_;
+  TransactionId read_x0_, write_x0_;
+};
+
+TEST_F(ObjectWellFormedTest, HappyPath) {
+  Schedule s = {
+      Event::Create(read_x0_),
+      Event::Create(write_x0_),
+      Event::RequestCommit(write_x0_, 5),
+      Event::RequestCommit(read_x0_, 5),
+  };
+  EXPECT_TRUE(CheckBasicObjectWellFormed(st_, s, 0).ok());
+}
+
+TEST_F(ObjectWellFormedTest, DuplicateCreateRejected) {
+  Schedule s = {Event::Create(read_x0_), Event::Create(read_x0_)};
+  EXPECT_FALSE(CheckBasicObjectWellFormed(st_, s, 0).ok());
+}
+
+TEST_F(ObjectWellFormedTest, ResponseWithoutCreateRejected) {
+  Schedule s = {Event::RequestCommit(read_x0_, 0)};
+  EXPECT_FALSE(CheckBasicObjectWellFormed(st_, s, 0).ok());
+}
+
+TEST_F(ObjectWellFormedTest, DoubleResponseRejected) {
+  Schedule s = {Event::Create(read_x0_), Event::RequestCommit(read_x0_, 0),
+                Event::RequestCommit(read_x0_, 0)};
+  EXPECT_FALSE(CheckBasicObjectWellFormed(st_, s, 0).ok());
+}
+
+TEST_F(ObjectWellFormedTest, WrongObjectEventRejected) {
+  // read_x0_ is an access to X0, not X1.
+  Schedule s = {Event::Create(read_x0_)};
+  EXPECT_FALSE(CheckBasicObjectWellFormed(st_, s, 1).ok());
+}
+
+TEST_F(ObjectWellFormedTest, PendingTracksUnansweredAccesses) {
+  BasicObjectWellFormedChecker checker(&st_, 0);
+  ASSERT_TRUE(checker.Feed(Event::Create(read_x0_)).ok());
+  EXPECT_EQ(checker.pending().size(), 1u);
+  ASSERT_TRUE(checker.Feed(Event::RequestCommit(read_x0_, 0)).ok());
+  EXPECT_TRUE(checker.pending().empty());
+}
+
+// ---------------------------------------------------------------------
+// Locking object sequences (§5.1).
+// ---------------------------------------------------------------------
+
+class LockingWellFormedTest : public ObjectWellFormedTest {};
+
+TEST_F(LockingWellFormedTest, InformCommitRequiresResponseForOwnAccess) {
+  Schedule s = {Event::Create(read_x0_),
+                Event::InformCommitAt(0, read_x0_)};
+  EXPECT_FALSE(CheckLockingObjectWellFormed(st_, s, 0).ok());
+  Schedule ok = {Event::Create(read_x0_),
+                 Event::RequestCommit(read_x0_, 0),
+                 Event::InformCommitAt(0, read_x0_)};
+  EXPECT_TRUE(CheckLockingObjectWellFormed(st_, ok, 0).ok());
+}
+
+TEST_F(LockingWellFormedTest, InformCommitOfInternalNeedsNoResponse) {
+  Schedule s = {Event::InformCommitAt(0, TransactionId::Root().Child(0))};
+  EXPECT_TRUE(CheckLockingObjectWellFormed(st_, s, 0).ok());
+}
+
+TEST_F(LockingWellFormedTest, ConflictingInformsRejected) {
+  const TransactionId t = TransactionId::Root().Child(0);
+  EXPECT_FALSE(CheckLockingObjectWellFormed(
+                   st_,
+                   {Event::InformCommitAt(0, t), Event::InformAbortAt(0, t)},
+                   0)
+                   .ok());
+  EXPECT_FALSE(CheckLockingObjectWellFormed(
+                   st_,
+                   {Event::InformAbortAt(0, t), Event::InformCommitAt(0, t)},
+                   0)
+                   .ok());
+}
+
+TEST_F(LockingWellFormedTest, RepeatInformAbortAllowed) {
+  const TransactionId t = TransactionId::Root().Child(0);
+  EXPECT_TRUE(CheckLockingObjectWellFormed(
+                  st_,
+                  {Event::InformAbortAt(0, t), Event::InformAbortAt(0, t)},
+                  0)
+                  .ok());
+}
+
+// ---------------------------------------------------------------------
+// Whole-system well-formedness.
+// ---------------------------------------------------------------------
+
+TEST_F(ObjectWellFormedTest, SerialRejectsInformEvents) {
+  Schedule s = {Event::InformCommitAt(0, TransactionId::Root().Child(0))};
+  EXPECT_FALSE(CheckSerialWellFormed(st_, s).ok());
+  EXPECT_TRUE(CheckConcurrentWellFormed(st_, s).ok());
+}
+
+TEST_F(ObjectWellFormedTest, SerialHappySystemSequence) {
+  const TransactionId t1 = TransactionId::Root().Child(0);
+  Schedule s = {
+      Event::Create(TransactionId::Root()),
+      Event::RequestCreate(t1),
+      Event::Create(t1),
+      Event::RequestCreate(read_x0_),
+      Event::Create(read_x0_),
+      Event::RequestCommit(read_x0_, 0),
+      Event::Commit(read_x0_),
+      Event::ReportCommit(read_x0_, 0),
+      Event::RequestCreate(write_x0_),
+      Event::Create(write_x0_),
+      Event::RequestCommit(write_x0_, 5),
+      Event::Commit(write_x0_),
+      Event::ReportCommit(write_x0_, 5),
+      Event::RequestCommit(t1, 5),
+      Event::Commit(t1),
+      Event::ReportCommit(t1, 5),
+  };
+  EXPECT_TRUE(CheckSerialWellFormed(st_, s).ok());
+}
+
+}  // namespace
+}  // namespace nestedtx

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_engine_aborts.dir/bench_engine_aborts.cc.o"
+  "CMakeFiles/bench_engine_aborts.dir/bench_engine_aborts.cc.o.d"
+  "bench_engine_aborts"
+  "bench_engine_aborts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engine_aborts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_engine_contention.cc" "bench/CMakeFiles/bench_engine_contention.dir/bench_engine_contention.cc.o" "gcc" "bench/CMakeFiles/bench_engine_contention.dir/bench_engine_contention.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nestedtx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/checker/CMakeFiles/nestedtx_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/explore/CMakeFiles/nestedtx_explore.dir/DependInfo.cmake"
+  "/root/repo/build/src/locking/CMakeFiles/nestedtx_locking.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/nestedtx_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/nestedtx_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/tx/CMakeFiles/nestedtx_tx.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nestedtx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_engine_contention.dir/bench_engine_contention.cc.o"
+  "CMakeFiles/bench_engine_contention.dir/bench_engine_contention.cc.o.d"
+  "bench_engine_contention"
+  "bench_engine_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engine_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

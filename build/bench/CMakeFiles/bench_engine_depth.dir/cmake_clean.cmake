@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_engine_depth.dir/bench_engine_depth.cc.o"
+  "CMakeFiles/bench_engine_depth.dir/bench_engine_depth.cc.o.d"
+  "bench_engine_depth"
+  "bench_engine_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engine_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

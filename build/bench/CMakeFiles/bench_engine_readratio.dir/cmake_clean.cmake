@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_engine_readratio.dir/bench_engine_readratio.cc.o"
+  "CMakeFiles/bench_engine_readratio.dir/bench_engine_readratio.cc.o.d"
+  "bench_engine_readratio"
+  "bench_engine_readratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engine_readratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lock_manager.dir/bench_lock_manager.cc.o"
+  "CMakeFiles/bench_lock_manager.dir/bench_lock_manager.cc.o.d"
+  "bench_lock_manager"
+  "bench_lock_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lock_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

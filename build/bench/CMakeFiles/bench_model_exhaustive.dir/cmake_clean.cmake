@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_exhaustive.dir/bench_model_exhaustive.cc.o"
+  "CMakeFiles/bench_model_exhaustive.dir/bench_model_exhaustive.cc.o.d"
+  "bench_model_exhaustive"
+  "bench_model_exhaustive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_exhaustive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_random.dir/bench_model_random.cc.o"
+  "CMakeFiles/bench_model_random.dir/bench_model_random.cc.o.d"
+  "bench_model_random"
+  "bench_model_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

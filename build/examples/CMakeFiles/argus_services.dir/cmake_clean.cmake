@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_services.dir/argus_services.cpp.o"
+  "CMakeFiles/argus_services.dir/argus_services.cpp.o.d"
+  "argus_services"
+  "argus_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

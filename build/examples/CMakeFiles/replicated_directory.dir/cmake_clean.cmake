@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_directory.dir/replicated_directory.cpp.o"
+  "CMakeFiles/replicated_directory.dir/replicated_directory.cpp.o.d"
+  "replicated_directory"
+  "replicated_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/executor.cc" "src/automata/CMakeFiles/nestedtx_automata.dir/executor.cc.o" "gcc" "src/automata/CMakeFiles/nestedtx_automata.dir/executor.cc.o.d"
+  "/root/repo/src/automata/system.cc" "src/automata/CMakeFiles/nestedtx_automata.dir/system.cc.o" "gcc" "src/automata/CMakeFiles/nestedtx_automata.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tx/CMakeFiles/nestedtx_tx.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nestedtx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

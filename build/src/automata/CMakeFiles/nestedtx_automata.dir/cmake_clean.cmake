@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestedtx_automata.dir/executor.cc.o"
+  "CMakeFiles/nestedtx_automata.dir/executor.cc.o.d"
+  "CMakeFiles/nestedtx_automata.dir/system.cc.o"
+  "CMakeFiles/nestedtx_automata.dir/system.cc.o.d"
+  "libnestedtx_automata.a"
+  "libnestedtx_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestedtx_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestedtx_checker.dir/equieffective.cc.o"
+  "CMakeFiles/nestedtx_checker.dir/equieffective.cc.o.d"
+  "CMakeFiles/nestedtx_checker.dir/invariants.cc.o"
+  "CMakeFiles/nestedtx_checker.dir/invariants.cc.o.d"
+  "CMakeFiles/nestedtx_checker.dir/precedence_graph.cc.o"
+  "CMakeFiles/nestedtx_checker.dir/precedence_graph.cc.o.d"
+  "CMakeFiles/nestedtx_checker.dir/serial_correctness.cc.o"
+  "CMakeFiles/nestedtx_checker.dir/serial_correctness.cc.o.d"
+  "libnestedtx_checker.a"
+  "libnestedtx_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestedtx_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/database.cc" "src/core/CMakeFiles/nestedtx_core.dir/database.cc.o" "gcc" "src/core/CMakeFiles/nestedtx_core.dir/database.cc.o.d"
+  "/root/repo/src/core/lock_manager.cc" "src/core/CMakeFiles/nestedtx_core.dir/lock_manager.cc.o" "gcc" "src/core/CMakeFiles/nestedtx_core.dir/lock_manager.cc.o.d"
+  "/root/repo/src/core/replicated.cc" "src/core/CMakeFiles/nestedtx_core.dir/replicated.cc.o" "gcc" "src/core/CMakeFiles/nestedtx_core.dir/replicated.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/core/CMakeFiles/nestedtx_core.dir/stats.cc.o" "gcc" "src/core/CMakeFiles/nestedtx_core.dir/stats.cc.o.d"
+  "/root/repo/src/core/trace_recorder.cc" "src/core/CMakeFiles/nestedtx_core.dir/trace_recorder.cc.o" "gcc" "src/core/CMakeFiles/nestedtx_core.dir/trace_recorder.cc.o.d"
+  "/root/repo/src/core/transaction.cc" "src/core/CMakeFiles/nestedtx_core.dir/transaction.cc.o" "gcc" "src/core/CMakeFiles/nestedtx_core.dir/transaction.cc.o.d"
+  "/root/repo/src/core/wait_graph.cc" "src/core/CMakeFiles/nestedtx_core.dir/wait_graph.cc.o" "gcc" "src/core/CMakeFiles/nestedtx_core.dir/wait_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tx/CMakeFiles/nestedtx_tx.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/nestedtx_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/nestedtx_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nestedtx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestedtx_core.dir/database.cc.o"
+  "CMakeFiles/nestedtx_core.dir/database.cc.o.d"
+  "CMakeFiles/nestedtx_core.dir/lock_manager.cc.o"
+  "CMakeFiles/nestedtx_core.dir/lock_manager.cc.o.d"
+  "CMakeFiles/nestedtx_core.dir/replicated.cc.o"
+  "CMakeFiles/nestedtx_core.dir/replicated.cc.o.d"
+  "CMakeFiles/nestedtx_core.dir/stats.cc.o"
+  "CMakeFiles/nestedtx_core.dir/stats.cc.o.d"
+  "CMakeFiles/nestedtx_core.dir/trace_recorder.cc.o"
+  "CMakeFiles/nestedtx_core.dir/trace_recorder.cc.o.d"
+  "CMakeFiles/nestedtx_core.dir/transaction.cc.o"
+  "CMakeFiles/nestedtx_core.dir/transaction.cc.o.d"
+  "CMakeFiles/nestedtx_core.dir/wait_graph.cc.o"
+  "CMakeFiles/nestedtx_core.dir/wait_graph.cc.o.d"
+  "libnestedtx_core.a"
+  "libnestedtx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestedtx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

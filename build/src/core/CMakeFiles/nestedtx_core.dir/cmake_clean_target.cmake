@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnestedtx_core.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestedtx_explore.dir/enumerator.cc.o"
+  "CMakeFiles/nestedtx_explore.dir/enumerator.cc.o.d"
+  "CMakeFiles/nestedtx_explore.dir/random_walk.cc.o"
+  "CMakeFiles/nestedtx_explore.dir/random_walk.cc.o.d"
+  "CMakeFiles/nestedtx_explore.dir/workload.cc.o"
+  "CMakeFiles/nestedtx_explore.dir/workload.cc.o.d"
+  "libnestedtx_explore.a"
+  "libnestedtx_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestedtx_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestedtx_locking.dir/generic_scheduler.cc.o"
+  "CMakeFiles/nestedtx_locking.dir/generic_scheduler.cc.o.d"
+  "CMakeFiles/nestedtx_locking.dir/locking_system.cc.o"
+  "CMakeFiles/nestedtx_locking.dir/locking_system.cc.o.d"
+  "CMakeFiles/nestedtx_locking.dir/rw_lock_object.cc.o"
+  "CMakeFiles/nestedtx_locking.dir/rw_lock_object.cc.o.d"
+  "libnestedtx_locking.a"
+  "libnestedtx_locking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestedtx_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serial/basic_object.cc" "src/serial/CMakeFiles/nestedtx_serial.dir/basic_object.cc.o" "gcc" "src/serial/CMakeFiles/nestedtx_serial.dir/basic_object.cc.o.d"
+  "/root/repo/src/serial/data_type.cc" "src/serial/CMakeFiles/nestedtx_serial.dir/data_type.cc.o" "gcc" "src/serial/CMakeFiles/nestedtx_serial.dir/data_type.cc.o.d"
+  "/root/repo/src/serial/serial_scheduler.cc" "src/serial/CMakeFiles/nestedtx_serial.dir/serial_scheduler.cc.o" "gcc" "src/serial/CMakeFiles/nestedtx_serial.dir/serial_scheduler.cc.o.d"
+  "/root/repo/src/serial/serial_system.cc" "src/serial/CMakeFiles/nestedtx_serial.dir/serial_system.cc.o" "gcc" "src/serial/CMakeFiles/nestedtx_serial.dir/serial_system.cc.o.d"
+  "/root/repo/src/serial/transaction_automaton.cc" "src/serial/CMakeFiles/nestedtx_serial.dir/transaction_automaton.cc.o" "gcc" "src/serial/CMakeFiles/nestedtx_serial.dir/transaction_automaton.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/automata/CMakeFiles/nestedtx_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/tx/CMakeFiles/nestedtx_tx.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nestedtx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestedtx_serial.dir/basic_object.cc.o"
+  "CMakeFiles/nestedtx_serial.dir/basic_object.cc.o.d"
+  "CMakeFiles/nestedtx_serial.dir/data_type.cc.o"
+  "CMakeFiles/nestedtx_serial.dir/data_type.cc.o.d"
+  "CMakeFiles/nestedtx_serial.dir/serial_scheduler.cc.o"
+  "CMakeFiles/nestedtx_serial.dir/serial_scheduler.cc.o.d"
+  "CMakeFiles/nestedtx_serial.dir/serial_system.cc.o"
+  "CMakeFiles/nestedtx_serial.dir/serial_system.cc.o.d"
+  "CMakeFiles/nestedtx_serial.dir/transaction_automaton.cc.o"
+  "CMakeFiles/nestedtx_serial.dir/transaction_automaton.cc.o.d"
+  "libnestedtx_serial.a"
+  "libnestedtx_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestedtx_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

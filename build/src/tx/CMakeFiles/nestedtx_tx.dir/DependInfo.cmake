@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tx/event.cc" "src/tx/CMakeFiles/nestedtx_tx.dir/event.cc.o" "gcc" "src/tx/CMakeFiles/nestedtx_tx.dir/event.cc.o.d"
+  "/root/repo/src/tx/schedule_io.cc" "src/tx/CMakeFiles/nestedtx_tx.dir/schedule_io.cc.o" "gcc" "src/tx/CMakeFiles/nestedtx_tx.dir/schedule_io.cc.o.d"
+  "/root/repo/src/tx/system_type.cc" "src/tx/CMakeFiles/nestedtx_tx.dir/system_type.cc.o" "gcc" "src/tx/CMakeFiles/nestedtx_tx.dir/system_type.cc.o.d"
+  "/root/repo/src/tx/system_type_io.cc" "src/tx/CMakeFiles/nestedtx_tx.dir/system_type_io.cc.o" "gcc" "src/tx/CMakeFiles/nestedtx_tx.dir/system_type_io.cc.o.d"
+  "/root/repo/src/tx/transaction_id.cc" "src/tx/CMakeFiles/nestedtx_tx.dir/transaction_id.cc.o" "gcc" "src/tx/CMakeFiles/nestedtx_tx.dir/transaction_id.cc.o.d"
+  "/root/repo/src/tx/visibility.cc" "src/tx/CMakeFiles/nestedtx_tx.dir/visibility.cc.o" "gcc" "src/tx/CMakeFiles/nestedtx_tx.dir/visibility.cc.o.d"
+  "/root/repo/src/tx/well_formed.cc" "src/tx/CMakeFiles/nestedtx_tx.dir/well_formed.cc.o" "gcc" "src/tx/CMakeFiles/nestedtx_tx.dir/well_formed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nestedtx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

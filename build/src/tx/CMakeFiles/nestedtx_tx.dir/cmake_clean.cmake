@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestedtx_tx.dir/event.cc.o"
+  "CMakeFiles/nestedtx_tx.dir/event.cc.o.d"
+  "CMakeFiles/nestedtx_tx.dir/schedule_io.cc.o"
+  "CMakeFiles/nestedtx_tx.dir/schedule_io.cc.o.d"
+  "CMakeFiles/nestedtx_tx.dir/system_type.cc.o"
+  "CMakeFiles/nestedtx_tx.dir/system_type.cc.o.d"
+  "CMakeFiles/nestedtx_tx.dir/system_type_io.cc.o"
+  "CMakeFiles/nestedtx_tx.dir/system_type_io.cc.o.d"
+  "CMakeFiles/nestedtx_tx.dir/transaction_id.cc.o"
+  "CMakeFiles/nestedtx_tx.dir/transaction_id.cc.o.d"
+  "CMakeFiles/nestedtx_tx.dir/visibility.cc.o"
+  "CMakeFiles/nestedtx_tx.dir/visibility.cc.o.d"
+  "CMakeFiles/nestedtx_tx.dir/well_formed.cc.o"
+  "CMakeFiles/nestedtx_tx.dir/well_formed.cc.o.d"
+  "libnestedtx_tx.a"
+  "libnestedtx_tx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestedtx_tx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestedtx_util.dir/logging.cc.o"
+  "CMakeFiles/nestedtx_util.dir/logging.cc.o.d"
+  "CMakeFiles/nestedtx_util.dir/random.cc.o"
+  "CMakeFiles/nestedtx_util.dir/random.cc.o.d"
+  "CMakeFiles/nestedtx_util.dir/status.cc.o"
+  "CMakeFiles/nestedtx_util.dir/status.cc.o.d"
+  "CMakeFiles/nestedtx_util.dir/strings.cc.o"
+  "CMakeFiles/nestedtx_util.dir/strings.cc.o.d"
+  "libnestedtx_util.a"
+  "libnestedtx_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestedtx_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_type_property_test.dir/data_type_property_test.cc.o"
+  "CMakeFiles/data_type_property_test.dir/data_type_property_test.cc.o.d"
+  "data_type_property_test"
+  "data_type_property_test.pdb"
+  "data_type_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_type_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_serializability_test.dir/engine_serializability_test.cc.o"
+  "CMakeFiles/engine_serializability_test.dir/engine_serializability_test.cc.o.d"
+  "engine_serializability_test"
+  "engine_serializability_test.pdb"
+  "engine_serializability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_serializability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equieffective_test.dir/equieffective_test.cc.o"
+  "CMakeFiles/equieffective_test.dir/equieffective_test.cc.o.d"
+  "equieffective_test"
+  "equieffective_test.pdb"
+  "equieffective_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equieffective_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locking_system_test.dir/locking_system_test.cc.o"
+  "CMakeFiles/locking_system_test.dir/locking_system_test.cc.o.d"
+  "locking_system_test"
+  "locking_system_test.pdb"
+  "locking_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locking_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

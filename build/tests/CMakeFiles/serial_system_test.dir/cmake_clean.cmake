@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serial_system_test.dir/serial_system_test.cc.o"
+  "CMakeFiles/serial_system_test.dir/serial_system_test.cc.o.d"
+  "serial_system_test"
+  "serial_system_test.pdb"
+  "serial_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serial_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transaction_id_test.dir/transaction_id_test.cc.o"
+  "CMakeFiles/transaction_id_test.dir/transaction_id_test.cc.o.d"
+  "transaction_id_test"
+  "transaction_id_test.pdb"
+  "transaction_id_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transaction_id_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

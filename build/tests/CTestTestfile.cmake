@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/transaction_id_test[1]_include.cmake")
+include("/root/repo/build/tests/system_type_test[1]_include.cmake")
+include("/root/repo/build/tests/event_test[1]_include.cmake")
+include("/root/repo/build/tests/well_formed_test[1]_include.cmake")
+include("/root/repo/build/tests/visibility_test[1]_include.cmake")
+include("/root/repo/build/tests/serial_system_test[1]_include.cmake")
+include("/root/repo/build/tests/locking_system_test[1]_include.cmake")
+include("/root/repo/build/tests/serial_correctness_test[1]_include.cmake")
+include("/root/repo/build/tests/exhaustive_test[1]_include.cmake")
+include("/root/repo/build/tests/equieffective_test[1]_include.cmake")
+include("/root/repo/build/tests/wait_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/lock_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/transaction_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_concurrency_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_serializability_test[1]_include.cmake")
+include("/root/repo/build/tests/property_model_test[1]_include.cmake")
+include("/root/repo/build/tests/property_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/automata_test[1]_include.cmake")
+include("/root/repo/build/tests/savepoint_test[1]_include.cmake")
+include("/root/repo/build/tests/orphan_test[1]_include.cmake")
+include("/root/repo/build/tests/schedule_io_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/checker_mutation_test[1]_include.cmake")
+include("/root/repo/build/tests/replicated_test[1]_include.cmake")
+include("/root/repo/build/tests/data_type_property_test[1]_include.cmake")
+include("/root/repo/build/tests/system_type_io_test[1]_include.cmake")
+include("/root/repo/build/tests/lemma_property_test[1]_include.cmake")

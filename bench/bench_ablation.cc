@@ -50,7 +50,11 @@ void DeadlockPolicyAblation() {
     options.lock_timeout = cfg.lock_timeout;
     options.deadlock_policy = policy;
     Database db(options);
-    for (int k = 0; k < cfg.num_keys; ++k) db.Preload(StrCat("k", k), 0);
+    std::vector<std::string> keys;
+    for (int k = 0; k < cfg.num_keys; ++k) {
+      keys.push_back(StrCat("k", k));
+      db.Preload(keys.back(), 0);
+    }
     std::atomic<bool> stop{false};
     std::atomic<uint64_t> committed{0};
     std::vector<std::thread> workers;
@@ -60,9 +64,9 @@ void DeadlockPolicyAblation() {
         Rng rng(w * 31 + 5);
         Zipf zipf(cfg.num_keys, 0.0);
         while (!stop.load(std::memory_order_relaxed)) {
-          std::atomic<uint64_t> ops{0};
+          uint64_t ops = 0;
           Status s = db.RunTransaction(60, [&](Transaction& t) {
-            return RunOneTransaction(cfg, t, rng, zipf, ops);
+            return RunOneTransaction(cfg, t, keys, rng, zipf, &ops);
           });
           if (s.ok()) committed.fetch_add(1);
         }
@@ -75,8 +79,8 @@ void DeadlockPolicyAblation() {
     for (auto& t : workers) t.join();
     std::printf("%22s | %10.0f %10llu %10llu\n", label,
                 committed.load() / clock.ElapsedSeconds(),
-                (unsigned long long)db.stats().deadlocks.load(),
-                (unsigned long long)db.stats().lock_timeouts.load());
+                (unsigned long long)db.stats().Snapshot().deadlocks,
+                (unsigned long long)db.stats().Snapshot().lock_timeouts);
   }
 }
 
@@ -122,7 +126,7 @@ void ForUpdateAblation() {
     std::printf("%16s | %10.0f %10llu %9.1f%%\n",
                 for_update ? "get-for-update" : "get-then-put",
                 committed.load() / clock.ElapsedSeconds(),
-                (unsigned long long)db.stats().deadlocks.load(),
+                (unsigned long long)db.stats().Snapshot().deadlocks,
                 100.0 * committed.load() /
                     std::max<uint64_t>(attempts.load(), 1));
   }

@@ -14,7 +14,9 @@
 using namespace nestedtx;
 using namespace nestedtx::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json = HasFlag(argc, argv, "--json");
+  JsonResultFile out("bench_engine_aborts");
   std::printf("E5: goodput & throughput vs subtransaction abort "
               "probability\n    (8 threads, 32 keys, depth 3, 9 accesses, "
               "100us dwell)\n");
@@ -36,10 +38,15 @@ int main() {
       cfg.dwell_us_per_access = 100;  // makes redone work cost real time
       cfg.duration_seconds = 0.5;
       WorkloadResult r = RunWorkload(cfg);
+      if (json) {
+        AddWorkloadEntry(
+            out, StrCat("abort", abort_pct, "_", CcModeName(mode)), cfg, r);
+      }
       std::printf(" %10.0f %10.1f%% %s", r.TxnPerSec(), 100 * r.Goodput(),
                   mode == CcMode::kMossRW ? "|" : "");
     }
     std::printf("\n");
   }
+  if (json && !out.Write()) return 1;
   return 0;
 }

@@ -29,7 +29,7 @@ WorkloadConfig BaseConfig() {
   return cfg;
 }
 
-void KeySweep() {
+void KeySweep(JsonResultFile* out) {
   std::printf("E6a: txn/s vs #keys (8 threads, 75%% reads, uniform, "
               "200us dwell)\n");
   std::printf("%8s | %12s %12s %12s %12s\n", "keys", "moss-rw",
@@ -42,13 +42,17 @@ void KeySweep() {
       cfg.mode = mode;
       cfg.num_keys = keys;
       WorkloadResult r = RunWorkload(cfg);
+      if (out != nullptr) {
+        AddWorkloadEntry(*out, StrCat("keys", keys, "_", CcModeName(mode)),
+                         cfg, r);
+      }
       std::printf(" %12.0f", r.TxnPerSec());
     }
     std::printf("\n");
   }
 }
 
-void SkewSweep() {
+void SkewSweep(JsonResultFile* out) {
   std::printf("\nE6b: txn/s vs zipfian skew (8 threads, 64 keys, "
               "75%% reads, 200us dwell)\n");
   std::printf("%8s | %12s %12s\n", "theta", "moss-rw", "exclusive");
@@ -60,13 +64,19 @@ void SkewSweep() {
       cfg.num_keys = 64;
       cfg.zipf_theta = theta;
       WorkloadResult r = RunWorkload(cfg);
+      if (out != nullptr) {
+        AddWorkloadEntry(*out,
+                         StrCat("theta", int(theta * 100), "_",
+                                CcModeName(mode)),
+                         cfg, r);
+      }
       std::printf(" %12.0f", r.TxnPerSec());
     }
     std::printf("\n");
   }
 }
 
-void ThreadSweep() {
+void ThreadSweep(JsonResultFile* out) {
   std::printf("\nE6c: txn/s vs threads (16 keys, 75%% reads, "
               "200us dwell)\n");
   std::printf("%8s | %12s %12s %12s\n", "threads", "moss-rw", "exclusive",
@@ -80,6 +90,11 @@ void ThreadSweep() {
       cfg.threads = threads;
       cfg.num_keys = 16;
       WorkloadResult r = RunWorkload(cfg);
+      if (out != nullptr) {
+        AddWorkloadEntry(*out,
+                         StrCat("threads", threads, "_", CcModeName(mode)),
+                         cfg, r);
+      }
       std::printf(" %12.0f", r.TxnPerSec());
     }
     std::printf("\n");
@@ -88,9 +103,13 @@ void ThreadSweep() {
 
 }  // namespace
 
-int main() {
-  KeySweep();
-  SkewSweep();
-  ThreadSweep();
+int main(int argc, char** argv) {
+  const bool json = HasFlag(argc, argv, "--json");
+  JsonResultFile out("bench_engine_contention");
+  JsonResultFile* p = json ? &out : nullptr;
+  KeySweep(p);
+  SkewSweep(p);
+  ThreadSweep(p);
+  if (json && !out.Write()) return 1;
   return 0;
 }

@@ -10,7 +10,9 @@
 using namespace nestedtx;
 using namespace nestedtx::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json = HasFlag(argc, argv, "--json");
+  JsonResultFile out("bench_engine_depth");
   std::printf("E4: nesting-depth cost (moss-rw, 8 threads, 32 keys, "
               "8 accesses/txn, 50%% reads)\n");
   std::printf("%6s | %12s %12s %14s\n", "depth", "txn/s", "ops/s",
@@ -24,8 +26,10 @@ int main() {
     cfg.nesting_depth = depth;
     cfg.duration_seconds = 0.5;
     WorkloadResult r = RunWorkload(cfg);
+    if (json) AddWorkloadEntry(out, StrCat("depth", depth), cfg, r);
     std::printf("%6d | %12.0f %12.0f %13.1f%%\n", depth, r.TxnPerSec(),
                 r.OpsPerSec(), 100 * r.Goodput());
   }
+  if (json && !out.Write()) return 1;
   return 0;
 }

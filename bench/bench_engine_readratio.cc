@@ -16,7 +16,9 @@
 using namespace nestedtx;
 using namespace nestedtx::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json = HasFlag(argc, argv, "--json");
+  JsonResultFile out("bench_engine_readratio");
   std::printf("E3: throughput (committed txn/s) vs read ratio "
               "(16 threads, 8 keys, 4 accesses/txn, 200us dwell/access)\n");
   std::printf("%8s | %12s %12s %12s %12s\n", "read%", "moss-rw",
@@ -35,9 +37,48 @@ int main() {
       cfg.duration_seconds = 0.6;
       cfg.lock_timeout = std::chrono::milliseconds(500);
       WorkloadResult r = RunWorkload(cfg);
+      if (json) {
+        AddWorkloadEntry(
+            out, StrCat("read", read_pct, "_", CcModeName(mode)), cfg, r);
+      }
       std::printf(" %12.0f", r.TxnPerSec());
     }
     std::printf("\n");
+  }
+  if (json) {
+    // CPU-bound hot-path configs (no dwell): the numbers the hot-path
+    // overhaul is measured against across PRs. read95_hotset is
+    // read-dominant and low-contention, with enough accesses per txn over
+    // a small hot set that re-reads under held locks dominate — the
+    // held-lock fast lane's home turf.
+    {
+      WorkloadConfig cfg;
+      cfg.mode = CcMode::kMossRW;
+      cfg.threads = 2;
+      cfg.num_keys = 8;
+      cfg.read_ratio = 0.95;
+      cfg.accesses_per_txn = 12;
+      cfg.dwell_us_per_access = 0;
+      cfg.duration_seconds = 2.0;
+      WorkloadResult r = RunWorkload(cfg);
+      AddWorkloadEntry(out, "read95_hotset", cfg, r);
+      std::printf("\nread95_hotset (CPU-bound): txn/s=%.0f ops/s=%.0f\n",
+                  r.TxnPerSec(), r.OpsPerSec());
+    }
+    {
+      WorkloadConfig cfg;
+      cfg.mode = CcMode::kMossRW;
+      cfg.threads = 8;
+      cfg.num_keys = 8;
+      cfg.read_ratio = 0.9;
+      cfg.accesses_per_txn = 4;
+      cfg.dwell_us_per_access = 0;
+      cfg.duration_seconds = 2.0;
+      WorkloadResult r = RunWorkload(cfg);
+      AddWorkloadEntry(out, "read90_nodwell", cfg, r);
+      std::printf("read90_nodwell (CPU-bound): txn/s=%.0f ops/s=%.0f\n",
+                  r.TxnPerSec(), r.OpsPerSec());
+    }
   }
   std::printf("\nconcurrency-admission detail at read%%=90:\n");
   for (CcMode mode : {CcMode::kMossRW, CcMode::kExclusive}) {
@@ -56,5 +97,6 @@ int main() {
                 (unsigned long long)r.lock_waits,
                 (unsigned long long)r.deadlocks, 100 * r.Goodput());
   }
+  if (json && !out.Write()) return 1;
   return 0;
 }

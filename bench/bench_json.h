@@ -1,0 +1,92 @@
+// Machine-readable benchmark output: each bench binary, when run with
+// --json, writes one BENCH_<name>.json in the current directory so the
+// perf trajectory can be tracked across PRs (see README "Benchmarks").
+//
+// Format: a JSON array of result objects. Engine workload entries carry
+// the config and throughput/goodput/counter fields; micro entries carry
+// ns_per_op. No external JSON dependency — the writer emits the small
+// fixed schema itself.
+#ifndef NESTEDTX_BENCH_BENCH_JSON_H_
+#define NESTEDTX_BENCH_BENCH_JSON_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace nestedtx {
+namespace bench {
+
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+class JsonResultFile {
+ public:
+  /// `bench_name` becomes the file name: BENCH_<bench_name>.json.
+  explicit JsonResultFile(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  class Entry {
+   public:
+    Entry& Str(const char* k, const std::string& v) {
+      fields_.push_back(std::string("\"") + k + "\": \"" + v + "\"");
+      return *this;
+    }
+    Entry& Num(const char* k, double v) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+      fields_.push_back(std::string("\"") + k + "\": " + buf);
+      return *this;
+    }
+    Entry& Int(const char* k, unsigned long long v) {
+      fields_.push_back(std::string("\"") + k + "\": " +
+                        std::to_string(v));
+      return *this;
+    }
+
+   private:
+    friend class JsonResultFile;
+    std::vector<std::string> fields_;
+  };
+
+  Entry& Add(const std::string& config_name) {
+    entries_.emplace_back();
+    entries_.back().Str("bench", bench_name_).Str("config", config_name);
+    return entries_.back();
+  }
+
+  /// Write BENCH_<name>.json; returns false on IO failure.
+  bool Write() const {
+    const std::string path = "BENCH_" + bench_name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fputs("[\n", f);
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      std::fputs("  {", f);
+      const auto& fields = entries_[i].fields_;
+      for (size_t j = 0; j < fields.size(); ++j) {
+        std::fputs(fields[j].c_str(), f);
+        if (j + 1 < fields.size()) std::fputs(", ", f);
+      }
+      std::fputs(i + 1 < entries_.size() ? "},\n" : "}\n", f);
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s (%zu entries)\n", path.c_str(),
+                 entries_.size());
+    return true;
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace bench
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_BENCH_BENCH_JSON_H_

@@ -1,11 +1,23 @@
 // E7 — lock-manager micro-costs (google-benchmark): the grant, conflict-
 // check, commit-inherit and abort-purge paths of the §5.1 rules, at
-// varying lock-table occupancy and nesting depth.
+// varying lock-table occupancy and nesting depth — plus the hot-path
+// fast lanes added by the lock-manager overhaul: packed TransactionId
+// construct/ancestor/hash ops, the held-lock repeat-acquire path, and
+// the cold acquire path, reported in ns/op.
 //
 // Expected shape: grants O(holders) with small constants; inherit/purge
-// O(keys held); deeper ancestry adds linear id-comparison cost.
+// O(keys held); deeper ancestry adds linear id-comparison cost; the
+// repeat-acquire fast path beats the cold path by skipping the shard
+// hash, conflict scan and holder-set insert.
+//
+// Run with --json to skip google-benchmark and instead write the micro
+// results to BENCH_bench_lock_manager.json (see README "Benchmarks").
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench_json.h"
+#include "core/database.h"
 #include "core/lock_manager.h"
 #include "util/strings.h"
 
@@ -91,8 +103,8 @@ void BM_CommitInherit(benchmark::State& state) {
   EngineStats stats;
   LockManager lm(Opts(), &stats);
   const int nkeys = static_cast<int>(state.range(0));
-  std::set<std::string> keys;
-  for (int k = 0; k < nkeys; ++k) keys.insert(StrCat("k", k));
+  std::vector<std::string> keys;
+  for (int k = 0; k < nkeys; ++k) keys.push_back(StrCat("k", k));
   const TransactionId parent = TransactionId::Root().Child(0);
   const TransactionId child = parent.Child(0);
   for (auto _ : state) {
@@ -115,8 +127,8 @@ void BM_AbortPurge(benchmark::State& state) {
   EngineStats stats;
   LockManager lm(Opts(), &stats);
   const int nkeys = static_cast<int>(state.range(0));
-  std::set<std::string> keys;
-  for (int k = 0; k < nkeys; ++k) keys.insert(StrCat("k", k));
+  std::vector<std::string> keys;
+  for (int k = 0; k < nkeys; ++k) keys.push_back(StrCat("k", k));
   const TransactionId txn = TransactionId::Root().Child(0);
   for (auto _ : state) {
     state.PauseTiming();
@@ -149,6 +161,151 @@ void BM_ReadThroughVersionChain(benchmark::State& state) {
 }
 BENCHMARK(BM_ReadThroughVersionChain)->Arg(1)->Arg(4)->Arg(8);
 
+// ---------------------------------------------------------------------
+// Fast-path micro section: TransactionId ops and the held-lock lanes.
+// ---------------------------------------------------------------------
+
+// Packed-id construction: Child() off a cached-hash parent (O(1) hash).
+void BM_TxnIdChildHash(benchmark::State& state) {
+  const TransactionId base = TransactionId::Root().Child(3).Child(1);
+  uint32_t i = 0;
+  for (auto _ : state) {
+    TransactionId c = base.Child(i++ & 1023);
+    benchmark::DoNotOptimize(c.Hash());
+  }
+}
+BENCHMARK(BM_TxnIdChildHash);
+
+// Word-wise prefix ancestor test at depth 6.
+void BM_TxnIdIsAncestor(benchmark::State& state) {
+  const TransactionId a = DeepId(3, 7);
+  const TransactionId d = a.Child(0).Child(1).Child(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.IsAncestorOf(d));
+  }
+}
+BENCHMARK(BM_TxnIdIsAncestor);
+
+// Engine-level repeat read: the held-lock fast lane (no shard hash, no
+// conflict scan, no holder insert).
+void BM_RepeatReadHeld(benchmark::State& state) {
+  Database db;
+  db.Preload("k", 1);
+  auto txn = db.Begin();
+  (void)txn->TryGet("k");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(txn->TryGet("k"));
+  }
+  txn->Abort();
+}
+BENCHMARK(BM_RepeatReadHeld);
+
+// Engine-level repeat write under a held write lock.
+void BM_RepeatWriteHeld(benchmark::State& state) {
+  Database db;
+  db.Preload("k", 0);
+  auto txn = db.Begin();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(txn->Add("k", 1));
+  }
+  txn->Abort();
+}
+BENCHMARK(BM_RepeatWriteHeld);
+
+// Engine-level cold acquire: fresh transaction, one read, commit.
+void BM_ColdTxnReadCommit(benchmark::State& state) {
+  Database db;
+  db.Preload("k", 1);
+  for (auto _ : state) {
+    auto txn = db.Begin();
+    benchmark::DoNotOptimize(txn->TryGet("k"));
+    (void)txn->Commit();
+  }
+}
+BENCHMARK(BM_ColdTxnReadCommit);
+
+// ---------------------------------------------------------------------
+// --json mode: manual timing loops, written to BENCH_*.json.
+// ---------------------------------------------------------------------
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+template <typename Fn>
+double MeasureNsPerOp(int iters, Fn&& fn) {
+  const double t0 = NowSeconds();
+  for (int i = 0; i < iters; ++i) fn(i);
+  return (NowSeconds() - t0) / iters * 1e9;
+}
+
+int RunJsonMode() {
+  using bench::JsonResultFile;
+  JsonResultFile out("bench_lock_manager");
+
+  {
+    const TransactionId base = TransactionId::Root().Child(3).Child(1);
+    size_t sink = 0;
+    out.Add("txnid_child_hash")
+        .Num("ns_per_op", MeasureNsPerOp(3000000, [&](int i) {
+          sink ^= base.Child(static_cast<uint32_t>(i) & 1023).Hash();
+        }));
+    benchmark::DoNotOptimize(sink);
+  }
+  {
+    const TransactionId a = DeepId(3, 7);
+    const TransactionId d = a.Child(0).Child(1).Child(2);
+    int sink = 0;
+    out.Add("txnid_is_ancestor")
+        .Num("ns_per_op", MeasureNsPerOp(3000000, [&](int) {
+          sink += a.IsAncestorOf(d);
+        }));
+    benchmark::DoNotOptimize(sink);
+  }
+  {
+    Database db;
+    db.Preload("k", 1);
+    auto txn = db.Begin();
+    (void)txn->TryGet("k");
+    int64_t sink = 0;
+    out.Add("repeat_read_held")
+        .Num("ns_per_op", MeasureNsPerOp(2000000, [&](int) {
+          sink += txn->TryGet("k")->value_or(0);
+        }));
+    benchmark::DoNotOptimize(sink);
+    txn->Abort();
+  }
+  {
+    Database db;
+    db.Preload("k", 0);
+    auto txn = db.Begin();
+    out.Add("repeat_write_held")
+        .Num("ns_per_op", MeasureNsPerOp(1000000, [&](int) {
+          (void)txn->Add("k", 1);
+        }));
+    txn->Abort();
+  }
+  {
+    Database db;
+    db.Preload("k", 1);
+    out.Add("cold_txn_read_commit")
+        .Num("ns_per_op", MeasureNsPerOp(300000, [&](int) {
+          auto txn = db.Begin();
+          (void)txn->TryGet("k");
+          (void)txn->Commit();
+        }));
+  }
+  return out.Write() ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (nestedtx::bench::HasFlag(argc, argv, "--json")) return RunJsonMode();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

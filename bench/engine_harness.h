@@ -8,10 +8,10 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
-#include <functional>
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/database.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
@@ -61,62 +61,87 @@ struct WorkloadResult {
   }
 };
 
+namespace internal {
+
+// Per-attempt state shared down the nesting recursion.
+struct TxnRun {
+  const WorkloadConfig& cfg;
+  const std::vector<std::string>& keys;  // precomputed "k0".."kN-1"
+  Rng& rng;
+  Zipf& zipf;
+  int levels;
+  int per_level;
+  int remaining;
+  uint64_t ops = 0;
+};
+
+inline Status RunLevel(TxnRun& run, Transaction& parent, int level) {
+  const WorkloadConfig& cfg = run.cfg;
+  // This level's accesses.
+  const int mine = level == run.levels - 1
+                       ? run.remaining
+                       : std::min(run.per_level, run.remaining);
+  run.remaining -= mine;
+  for (int i = 0; i < mine; ++i) {
+    const std::string& key = run.keys[run.zipf.Next(run.rng)];
+    if (run.rng.Bernoulli(cfg.read_ratio)) {
+      auto r = parent.TryGet(key);
+      if (!r.ok()) return r.status();
+    } else {
+      auto r = parent.Add(key, 1);
+      if (!r.ok()) return r.status();
+    }
+    if (cfg.dwell_us_per_access > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(cfg.dwell_us_per_access));
+    }
+    ++run.ops;
+  }
+  if (level + 1 >= run.levels || run.remaining <= 0) return Status::OK();
+  // Descend one nesting level as a subtransaction, with one retry on a
+  // voluntary abort (the partial-abort pattern).
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    auto child = parent.BeginChild();
+    if (!child.ok()) return child.status();
+    const int saved_remaining = run.remaining;
+    Status s = RunLevel(run, **child, level + 1);
+    const bool child_is_deepest = level + 1 == run.levels - 1;
+    if (s.ok() && child_is_deepest && cfg.subtxn_abort_prob > 0 &&
+        run.rng.Bernoulli(cfg.subtxn_abort_prob)) {
+      s = Status::Aborted("injected subtransaction failure");
+    }
+    if (s.ok()) {
+      s = (*child)->Commit();
+      if (s.ok()) return Status::OK();
+    }
+    if (!(*child)->returned()) (*child)->Abort();
+    if (!s.IsAborted() && !s.IsDeadlock() && !s.IsTimedOut()) return s;
+    run.remaining = saved_remaining;  // redo the subtree's work
+  }
+  return Status::Aborted("subtree failed twice");
+}
+
+}  // namespace internal
+
 // One transaction: `accesses_per_txn` accesses distributed over a chain
 // of `nesting_depth` subtransaction levels; each level may spontaneously
 // abort with `subtxn_abort_prob` (and is retried once by its parent —
 // partial abort under nesting, doom-and-restart under flat 2PL).
+// `op_count` receives the number of accesses this attempt performed.
 inline Status RunOneTransaction(const WorkloadConfig& cfg, Transaction& txn,
-                                Rng& rng, Zipf& zipf,
-                                std::atomic<uint64_t>& op_count) {
+                                const std::vector<std::string>& keys,
+                                Rng& rng, Zipf& zipf, uint64_t* op_count) {
   const int levels = cfg.nesting_depth < 1 ? 1 : cfg.nesting_depth;
-  const int per_level = (cfg.accesses_per_txn + levels - 1) / levels;
-  int remaining = cfg.accesses_per_txn;
-
-  std::function<Status(Transaction&, int)> run_level =
-      [&](Transaction& parent, int level) -> Status {
-    // This level's accesses.
-    const int mine = level == levels - 1 ? remaining
-                                         : std::min(per_level, remaining);
-    remaining -= mine;
-    for (int i = 0; i < mine; ++i) {
-      const std::string key = StrCat("k", zipf.Next(rng));
-      if (rng.Bernoulli(cfg.read_ratio)) {
-        auto r = parent.TryGet(key);
-        if (!r.ok()) return r.status();
-      } else {
-        auto r = parent.Add(key, 1);
-        if (!r.ok()) return r.status();
-      }
-      if (cfg.dwell_us_per_access > 0) {
-        std::this_thread::sleep_for(
-            std::chrono::microseconds(cfg.dwell_us_per_access));
-      }
-      op_count.fetch_add(1);
-    }
-    if (level + 1 >= levels || remaining <= 0) return Status::OK();
-    // Descend one nesting level as a subtransaction, with one retry on a
-    // voluntary abort (the partial-abort pattern).
-    for (int attempt = 0; attempt < 2; ++attempt) {
-      auto child = parent.BeginChild();
-      if (!child.ok()) return child.status();
-      const int saved_remaining = remaining;
-      Status s = run_level(**child, level + 1);
-      const bool child_is_deepest = level + 1 == levels - 1;
-      if (s.ok() && child_is_deepest && cfg.subtxn_abort_prob > 0 &&
-          rng.Bernoulli(cfg.subtxn_abort_prob)) {
-        s = Status::Aborted("injected subtransaction failure");
-      }
-      if (s.ok()) {
-        s = (*child)->Commit();
-        if (s.ok()) return Status::OK();
-      }
-      if (!(*child)->returned()) (*child)->Abort();
-      if (!s.IsAborted() && !s.IsDeadlock() && !s.IsTimedOut()) return s;
-      remaining = saved_remaining;  // redo the subtree's work
-    }
-    return Status::Aborted("subtree failed twice");
-  };
-  return run_level(txn, 0);
+  internal::TxnRun run{cfg,
+                       keys,
+                       rng,
+                       zipf,
+                       levels,
+                       (cfg.accesses_per_txn + levels - 1) / levels,
+                       cfg.accesses_per_txn};
+  Status s = internal::RunLevel(run, txn, 0);
+  *op_count = run.ops;
+  return s;
 }
 
 inline WorkloadResult RunWorkload(const WorkloadConfig& cfg) {
@@ -124,7 +149,12 @@ inline WorkloadResult RunWorkload(const WorkloadConfig& cfg) {
   options.cc_mode = cfg.mode;
   options.lock_timeout = cfg.lock_timeout;
   Database db(options);
-  for (int k = 0; k < cfg.num_keys; ++k) db.Preload(StrCat("k", k), 0);
+  std::vector<std::string> keys;
+  keys.reserve(cfg.num_keys);
+  for (int k = 0; k < cfg.num_keys; ++k) {
+    keys.push_back(StrCat("k", k));
+    db.Preload(keys.back(), 0);
+  }
 
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> committed{0}, failed{0}, attempts{0}, ops{0};
@@ -135,13 +165,12 @@ inline WorkloadResult RunWorkload(const WorkloadConfig& cfg) {
       Rng rng(w * 7919 + 101);
       Zipf zipf(cfg.num_keys, cfg.zipf_theta);
       while (!stop.load(std::memory_order_relaxed)) {
-        std::atomic<uint64_t> txn_ops{0};
+        uint64_t txn_ops = 0;
         Status s = Status::Aborted("");
         int attempt = 0;
         for (; attempt < cfg.max_attempts; ++attempt) {
-          txn_ops = 0;
           auto txn = db.Begin();
-          s = RunOneTransaction(cfg, *txn, rng, zipf, txn_ops);
+          s = RunOneTransaction(cfg, *txn, keys, rng, zipf, &txn_ops);
           if (s.ok()) {
             s = txn->Commit();
             if (s.ok()) break;
@@ -152,7 +181,7 @@ inline WorkloadResult RunWorkload(const WorkloadConfig& cfg) {
         attempts.fetch_add(attempt + 1);
         if (s.ok()) {
           committed.fetch_add(1);
-          ops.fetch_add(txn_ops.load());
+          ops.fetch_add(txn_ops);
         } else {
           failed.fetch_add(1);
         }
@@ -171,10 +200,36 @@ inline WorkloadResult RunWorkload(const WorkloadConfig& cfg) {
   result.attempts = attempts.load();
   result.ops = ops.load();
   result.seconds = clock.ElapsedSeconds();
-  result.lock_waits = db.stats().lock_waits.load();
-  result.deadlocks = db.stats().deadlocks.load();
-  result.timeouts = db.stats().lock_timeouts.load();
+  const StatsSnapshot stats = db.stats().Snapshot();
+  result.lock_waits = stats.lock_waits;
+  result.deadlocks = stats.deadlocks;
+  result.timeouts = stats.lock_timeouts;
   return result;
+}
+
+/// Record one workload run (config + results) as a BENCH_*.json entry.
+inline void AddWorkloadEntry(JsonResultFile& out, const std::string& name,
+                             const WorkloadConfig& cfg,
+                             const WorkloadResult& r) {
+  out.Add(name)
+      .Str("mode", CcModeName(cfg.mode))
+      .Int("threads", cfg.threads)
+      .Int("num_keys", cfg.num_keys)
+      .Num("zipf_theta", cfg.zipf_theta)
+      .Num("read_ratio", cfg.read_ratio)
+      .Int("accesses_per_txn", cfg.accesses_per_txn)
+      .Int("nesting_depth", cfg.nesting_depth)
+      .Num("subtxn_abort_prob", cfg.subtxn_abort_prob)
+      .Int("dwell_us_per_access", cfg.dwell_us_per_access)
+      .Num("duration_seconds", r.seconds)
+      .Num("txn_per_sec", r.TxnPerSec())
+      .Num("ops_per_sec", r.OpsPerSec())
+      .Num("goodput", r.Goodput())
+      .Int("committed", r.committed)
+      .Int("failed", r.failed)
+      .Int("lock_waits", r.lock_waits)
+      .Int("deadlocks", r.deadlocks)
+      .Int("timeouts", r.timeouts);
 }
 
 }  // namespace bench

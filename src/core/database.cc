@@ -33,7 +33,7 @@ Status Database::EnableTracing() {
         "tracing is not supported under flat 2PL (its locking does not "
         "correspond to a R/W Locking system)");
   }
-  if (manager_.stats().txns_begun.load() != 0) {
+  if (manager_.stats().Snapshot().txns_begun != 0) {
     return Status::FailedPrecondition(
         "EnableTracing must be called before the first transaction");
   }

@@ -1,0 +1,126 @@
+// Sorted small-vector set/map keyed by TransactionId, replacing the
+// per-key std::set / std::map in the lock manager. Holder counts per key
+// are tiny in practice (a handful of concurrent readers, an ancestor
+// chain of writers), so a contiguous sorted vector beats a node-based
+// tree: no per-element allocation, cache-friendly scans, and the same
+// ordered iteration the conflict scan and trace emission rely on.
+#ifndef NESTEDTX_CORE_ID_SMALL_SET_H_
+#define NESTEDTX_CORE_ID_SMALL_SET_H_
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "tx/transaction_id.h"
+
+namespace nestedtx {
+
+/// Sorted unique vector of TransactionId.
+class IdSet {
+ public:
+  /// Insert `id` if absent. Returns true iff the set changed.
+  bool Insert(const TransactionId& id) {
+    auto it = std::lower_bound(v_.begin(), v_.end(), id);
+    if (it != v_.end() && *it == id) return false;
+    v_.insert(it, id);
+    return true;
+  }
+
+  /// Erase `id` if present. Returns true iff the set changed.
+  bool Erase(const TransactionId& id) {
+    auto it = std::lower_bound(v_.begin(), v_.end(), id);
+    if (it == v_.end() || !(*it == id)) return false;
+    v_.erase(it);
+    return true;
+  }
+
+  bool Contains(const TransactionId& id) const {
+    auto it = std::lower_bound(v_.begin(), v_.end(), id);
+    return it != v_.end() && *it == id;
+  }
+
+  /// Erase every element matching `pred`; calls `on_erase(id)` for each
+  /// just before removal. Returns the number erased.
+  template <typename Pred, typename OnErase>
+  size_t EraseIf(Pred pred, OnErase on_erase) {
+    size_t erased = 0;
+    for (size_t i = 0; i < v_.size();) {
+      if (pred(v_[i])) {
+        on_erase(v_[i]);
+        v_.erase(v_.begin() + i);
+        ++erased;
+      } else {
+        ++i;
+      }
+    }
+    return erased;
+  }
+
+  bool empty() const { return v_.empty(); }
+  size_t size() const { return v_.size(); }
+  std::vector<TransactionId>::const_iterator begin() const {
+    return v_.begin();
+  }
+  std::vector<TransactionId>::const_iterator end() const { return v_.end(); }
+
+ private:
+  std::vector<TransactionId> v_;
+};
+
+/// Sorted vector map TransactionId -> optional<int64_t> (a version slot;
+/// nullopt is a stored deletion, distinct from "no entry").
+class VersionMap {
+ public:
+  /// Insert-or-assign.
+  void Put(const TransactionId& id, std::optional<int64_t> value) {
+    auto it = LowerBound(id);
+    if (it != v_.end() && it->id == id) {
+      it->value = value;
+    } else {
+      v_.insert(it, Entry{id, value});
+    }
+  }
+
+  /// Pointer to the stored value, or nullptr if absent.
+  const std::optional<int64_t>* Find(const TransactionId& id) const {
+    auto it = const_cast<VersionMap*>(this)->LowerBound(id);
+    if (it != v_.end() && it->id == id) return &it->value;
+    return nullptr;
+  }
+
+  bool Erase(const TransactionId& id) {
+    auto it = LowerBound(id);
+    if (it == v_.end() || !(it->id == id)) return false;
+    v_.erase(it);
+    return true;
+  }
+
+  /// Remove and return `id`'s entry. Requires the entry to exist.
+  std::optional<int64_t> Take(const TransactionId& id) {
+    auto it = LowerBound(id);
+    std::optional<int64_t> out = it->value;
+    v_.erase(it);
+    return out;
+  }
+
+  bool empty() const { return v_.empty(); }
+  size_t size() const { return v_.size(); }
+
+ private:
+  struct Entry {
+    TransactionId id;
+    std::optional<int64_t> value;
+  };
+
+  std::vector<Entry>::iterator LowerBound(const TransactionId& id) {
+    return std::lower_bound(
+        v_.begin(), v_.end(), id,
+        [](const Entry& e, const TransactionId& k) { return e.id < k; });
+  }
+
+  std::vector<Entry> v_;
+};
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_CORE_ID_SMALL_SET_H_

@@ -1,21 +1,42 @@
 #include "core/lock_manager.h"
 
 #include <functional>
+#include <set>
 
+#include "core/id_small_set.h"
 #include "serial/data_type.h"
 #include "util/strings.h"
 
 namespace nestedtx {
 
+// One lock-table entry. Holder sets and the version map are sorted small
+// vectors (holder counts are tiny in practice); `holder_epoch` is bumped
+// on every holder-set insertion and is what validates HeldLock fast-path
+// handles (see the header comment).
+struct LockManager::KeyState {
+  explicit KeyState(std::string k) : key(std::move(k)) {}
+
+  const std::string key;  // for trace emission from fast-path grants
+  std::mutex m;
+  std::condition_variable cv;
+  IdSet read_holders;
+  IdSet write_holders;
+  VersionMap versions;
+  std::optional<int64_t> base;
+  uint64_t holder_epoch = 0;
+};
+
 LockManager::LockManager(const EngineOptions& options, EngineStats* stats)
     : options_(options), stats_(stats), shards_(options.lock_table_shards) {}
+
+LockManager::~LockManager() = default;
 
 LockManager::KeyState& LockManager::GetKeyState(const std::string& key) {
   Shard& shard = shards_[std::hash<std::string>{}(key) % shards_.size()];
   std::lock_guard<std::mutex> lock(shard.m);
   auto it = shard.keys.find(key);
   if (it == shard.keys.end()) {
-    it = shard.keys.emplace(key, std::make_unique<KeyState>()).first;
+    it = shard.keys.emplace(key, std::make_unique<KeyState>(key)).first;
   }
   return *it->second;
 }
@@ -25,7 +46,7 @@ std::optional<int64_t> LockManager::CurrentValue(const KeyState& ks) {
   for (const TransactionId& w : ks.write_holders) {
     if (deepest == nullptr || w.Depth() > deepest->Depth()) deepest = &w;
   }
-  if (deepest != nullptr) return ks.versions.at(*deepest);
+  if (deepest != nullptr) return *ks.versions.Find(*deepest);
   return ks.base;
 }
 
@@ -59,13 +80,13 @@ Status LockManager::WaitForGrant(KeyState& ks,
     if (options_.deadlock_policy == DeadlockPolicy::kWaitForGraph) {
       Status reg = wait_graph_.AddWait(txn, conflicts);
       if (!reg.ok()) {
-        stats_->deadlocks.fetch_add(1);
+        stats_->Add(kStatDeadlocks);
         return reg;  // Deadlock; requester is the victim
       }
     }
     if (!waited) {
       waited = true;
-      stats_->lock_waits.fetch_add(1);
+      stats_->Add(kStatLockWaits);
     }
     if (ks.cv.wait_until(lk, deadline) == std::cv_status::timeout) {
       // One final re-check under the lock before declaring timeout.
@@ -74,7 +95,7 @@ Status LockManager::WaitForGrant(KeyState& ks,
         return Status::OK();
       }
       wait_graph_.RemoveWait(txn);
-      stats_->lock_timeouts.fetch_add(1);
+      stats_->Add(kStatLockTimeouts);
       return Status::TimedOut(
           StrCat(txn, " timed out waiting for lock on key"));
     }
@@ -83,104 +104,198 @@ Status LockManager::WaitForGrant(KeyState& ks,
 
 Result<std::optional<int64_t>> LockManager::AcquireRead(
     const TransactionId& txn, const std::string& key,
-    const AccessTraceInfo* trace) {
-  KeyState& ks = GetKeyState(key);
+    const AccessTraceInfo* trace, HeldLock* held) {
+  return AcquireReadOn(GetKeyState(key), txn, trace, held);
+}
+
+Result<std::optional<int64_t>> LockManager::AcquireReadOn(
+    KeyState& ks, const TransactionId& txn, const AccessTraceInfo* trace,
+    HeldLock* held) {
   std::unique_lock<std::mutex> lk(ks.m);
   RETURN_IF_ERROR(WaitForGrant(ks, lk, txn, /*exclusive=*/false));
-  ks.read_holders.insert(txn);
-  stats_->lock_grants.fetch_add(1);
-  stats_->reads.fetch_add(1);
+  if (ks.read_holders.Insert(txn)) ++ks.holder_epoch;
+  stats_->Add2(kStatLockGrants, kStatReads);
   const std::optional<int64_t> value = CurrentValue(ks);
+  if (held != nullptr) {
+    *held = HeldLock{&ks, ks.holder_epoch, /*read=*/true,
+                     /*write=*/ks.write_holders.Contains(txn)};
+  }
   if (recorder_ != nullptr && trace != nullptr) {
     // Emitted under the key mutex: the recorded per-object order is the
     // grant order the lock manager enforced.
-    recorder_->EmitAccess(key, *trace, value.value_or(kAbsentValue));
+    recorder_->EmitAccess(ks.key, *trace, value.value_or(kAbsentValue));
   }
   return value;
 }
 
 Result<std::optional<int64_t>> LockManager::AcquireWrite(
     const TransactionId& txn, const std::string& key,
-    const Mutator& mutator, const AccessTraceInfo* trace) {
-  KeyState& ks = GetKeyState(key);
+    const Mutator& mutator, const AccessTraceInfo* trace, HeldLock* held) {
+  return AcquireWriteOn(GetKeyState(key), txn, mutator, trace, held);
+}
+
+Result<std::optional<int64_t>> LockManager::AcquireWriteOn(
+    KeyState& ks, const TransactionId& txn, const Mutator& mutator,
+    const AccessTraceInfo* trace, HeldLock* held) {
   std::unique_lock<std::mutex> lk(ks.m);
   RETURN_IF_ERROR(WaitForGrant(ks, lk, txn, /*exclusive=*/true));
   const std::optional<int64_t> current = CurrentValue(ks);
   const std::optional<int64_t> next = mutator(current);
-  ks.write_holders.insert(txn);
-  ks.versions[txn] = next;
-  stats_->lock_grants.fetch_add(1);
-  stats_->writes.fetch_add(1);
+  if (ks.write_holders.Insert(txn)) ++ks.holder_epoch;
+  ks.versions.Put(txn, next);
+  stats_->Add2(kStatLockGrants, kStatWrites);
+  if (held != nullptr) {
+    *held = HeldLock{&ks, ks.holder_epoch,
+                     /*read=*/ks.read_holders.Contains(txn), /*write=*/true};
+  }
   if (recorder_ != nullptr && trace != nullptr) {
-    recorder_->EmitAccess(key, *trace, next.value_or(kAbsentValue));
+    recorder_->EmitAccess(ks.key, *trace, next.value_or(kAbsentValue));
   }
   return next;
 }
 
+bool LockManager::TryReacquireRead(HeldLock& held, const TransactionId& txn,
+                                   const AccessTraceInfo* trace,
+                                   Result<std::optional<int64_t>>* result) {
+  if (!held.read && !held.write) return false;
+  KeyState& ks = *held.key;
+  std::unique_lock<std::mutex> lk(ks.m);
+  if (ks.holder_epoch != held.epoch) return false;
+  // Epoch unchanged since our grant: no holder has been added, so every
+  // write holder is still an ancestor of txn — the read is conflict-free.
+  if (!held.read) {
+    // Re-read under a write-only hold still registers the read lock,
+    // exactly as the full path would.
+    if (ks.read_holders.Insert(txn)) ++ks.holder_epoch;
+    held.read = true;
+  }
+  held.epoch = ks.holder_epoch;
+  stats_->Add2(kStatLockGrants, kStatReads);
+  const std::optional<int64_t> value = CurrentValue(ks);
+  if (recorder_ != nullptr && trace != nullptr) {
+    recorder_->EmitAccess(ks.key, *trace, value.value_or(kAbsentValue));
+  }
+  *result = value;
+  return true;
+}
+
+bool LockManager::TryReacquireWrite(HeldLock& held, const TransactionId& txn,
+                                    const Mutator& mutator,
+                                    const AccessTraceInfo* trace,
+                                    Result<std::optional<int64_t>>* result) {
+  if (!held.write) return false;
+  KeyState& ks = *held.key;
+  std::unique_lock<std::mutex> lk(ks.m);
+  if (ks.holder_epoch != held.epoch) return false;
+  // Epoch unchanged since our write grant: txn is still the deepest
+  // holder and nobody new joined — the write is conflict-free.
+  const std::optional<int64_t> current = CurrentValue(ks);
+  const std::optional<int64_t> next = mutator(current);
+  ks.versions.Put(txn, next);
+  stats_->Add2(kStatLockGrants, kStatWrites);
+  if (recorder_ != nullptr && trace != nullptr) {
+    recorder_->EmitAccess(ks.key, *trace, next.value_or(kAbsentValue));
+  }
+  *result = next;
+  return true;
+}
+
+Result<std::optional<int64_t>> LockManager::ReacquireRead(
+    HeldLock& held, const TransactionId& txn, const AccessTraceInfo* trace) {
+  Result<std::optional<int64_t>> result = std::optional<int64_t>{};
+  if (TryReacquireRead(held, txn, trace, &result)) return result;
+  return AcquireReadOn(*held.key, txn, trace, &held);
+}
+
+Result<std::optional<int64_t>> LockManager::ReacquireWrite(
+    HeldLock& held, const TransactionId& txn, const Mutator& mutator,
+    const AccessTraceInfo* trace) {
+  Result<std::optional<int64_t>> result = std::optional<int64_t>{};
+  if (TryReacquireWrite(held, txn, mutator, trace, &result)) return result;
+  return AcquireWriteOn(*held.key, txn, mutator, trace, &held);
+}
+
+void LockManager::CommitKey(KeyState& ks, const TransactionId& txn,
+                            const TransactionId& parent) {
+  std::lock_guard<std::mutex> lock(ks.m);
+  bool changed = false;
+  if (ks.write_holders.Erase(txn)) {
+    std::optional<int64_t> version = ks.versions.Take(txn);
+    if (parent.IsRoot()) {
+      ks.base = version;  // top-level commit: install as base
+    } else {
+      if (ks.write_holders.Insert(parent)) ++ks.holder_epoch;
+      ks.versions.Put(parent, version);
+    }
+    stats_->Add(kStatLocksInherited);
+    changed = true;
+  }
+  if (ks.read_holders.Erase(txn)) {
+    if (!parent.IsRoot() && ks.read_holders.Insert(parent)) {
+      ++ks.holder_epoch;
+    }
+    stats_->Add(kStatLocksInherited);
+    changed = true;
+  }
+  if (changed) {
+    if (recorder_ != nullptr) {
+      recorder_->Emit(
+          Event::InformCommitAt(recorder_->ObjectFor(ks.key), txn));
+    }
+    ks.cv.notify_all();
+  }
+}
+
+void LockManager::AbortKey(KeyState& ks, const TransactionId& txn) {
+  std::lock_guard<std::mutex> lock(ks.m);
+  bool changed = false;
+  // Discard entries of txn and (defensively) any stray descendants.
+  changed |= ks.write_holders.EraseIf(
+                 [&](const TransactionId& w) {
+                   return txn.IsAncestorOf(w);
+                 },
+                 [&](const TransactionId& w) {
+                   ks.versions.Erase(w);
+                   stats_->Add(kStatVersionsDiscarded);
+                 }) > 0;
+  changed |= ks.read_holders.EraseIf(
+                 [&](const TransactionId& r) {
+                   return txn.IsAncestorOf(r);
+                 },
+                 [](const TransactionId&) {}) > 0;
+  if (recorder_ != nullptr) {
+    // Informed even when no lock was held (the model's generic
+    // scheduler may inform any object of any abort).
+    recorder_->Emit(Event::InformAbortAt(recorder_->ObjectFor(ks.key), txn));
+  }
+  if (changed) ks.cv.notify_all();
+}
+
 void LockManager::OnCommit(const TransactionId& txn,
                            const TransactionId& parent,
-                           const std::set<std::string>& keys) {
-  for (const std::string& key : keys) {
-    KeyState& ks = GetKeyState(key);
-    std::lock_guard<std::mutex> lock(ks.m);
-    bool changed = false;
-    if (ks.write_holders.erase(txn)) {
-      auto version = ks.versions.extract(txn);
-      if (parent.IsRoot()) {
-        ks.base = version.mapped();  // top-level commit: install as base
-      } else {
-        ks.write_holders.insert(parent);
-        ks.versions[parent] = version.mapped();
-      }
-      stats_->locks_inherited.fetch_add(1);
-      changed = true;
-    }
-    if (ks.read_holders.erase(txn)) {
-      if (!parent.IsRoot()) ks.read_holders.insert(parent);
-      stats_->locks_inherited.fetch_add(1);
-      changed = true;
-    }
-    if (changed) {
-      if (recorder_ != nullptr) {
-        recorder_->Emit(
-            Event::InformCommitAt(recorder_->ObjectFor(key), txn));
-      }
-      ks.cv.notify_all();
-    }
+                           const std::vector<std::string>& keys) {
+  for (const std::string& key : keys) CommitKey(GetKeyState(key), txn, parent);
+}
+
+void LockManager::OnCommit(const TransactionId& txn,
+                           const TransactionId& parent,
+                           const std::vector<KeyHold>& keys) {
+  for (const KeyHold& kh : keys) {
+    CommitKey(kh.held.key != nullptr ? *kh.held.key : GetKeyState(kh.key),
+              txn, parent);
   }
 }
 
 void LockManager::OnAbort(const TransactionId& txn,
-                          const std::set<std::string>& keys) {
-  for (const std::string& key : keys) {
-    KeyState& ks = GetKeyState(key);
-    std::lock_guard<std::mutex> lock(ks.m);
-    bool changed = false;
-    // Discard entries of txn and (defensively) any stray descendants.
-    for (auto it = ks.write_holders.begin(); it != ks.write_holders.end();) {
-      if (txn.IsAncestorOf(*it)) {
-        ks.versions.erase(*it);
-        it = ks.write_holders.erase(it);
-        stats_->versions_discarded.fetch_add(1);
-        changed = true;
-      } else {
-        ++it;
-      }
-    }
-    for (auto it = ks.read_holders.begin(); it != ks.read_holders.end();) {
-      if (txn.IsAncestorOf(*it)) {
-        it = ks.read_holders.erase(it);
-        changed = true;
-      } else {
-        ++it;
-      }
-    }
-    if (recorder_ != nullptr) {
-      // Informed even when no lock was held (the model's generic
-      // scheduler may inform any object of any abort).
-      recorder_->Emit(Event::InformAbortAt(recorder_->ObjectFor(key), txn));
-    }
-    if (changed) ks.cv.notify_all();
+                          const std::vector<std::string>& keys) {
+  for (const std::string& key : keys) AbortKey(GetKeyState(key), txn);
+}
+
+void LockManager::OnAbort(const TransactionId& txn,
+                          const std::vector<KeyHold>& keys) {
+  for (const KeyHold& kh : keys) {
+    AbortKey(kh.held.key != nullptr ? *kh.held.key : GetKeyState(kh.key),
+             txn);
   }
 }
 

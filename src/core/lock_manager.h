@@ -13,16 +13,35 @@
 // Blocking: conflicting requests wait on the key's condition variable,
 // registering in the WaitGraph (victim = requester on cycle) or bounded
 // by the configured timeout.
+//
+// Hot-path fast lane: a successful acquire can hand back a HeldLock
+// handle {key state, holder epoch, held modes}. Re-acquiring under a
+// still-sufficient held lock (Reacquire*) skips the shard hash, the
+// wait/conflict scan and the holder-set insert, taking only the per-key
+// mutex to read/install the version. Safety: the per-key holder epoch is
+// bumped on every holder-set *insertion*; if the epoch is unchanged since
+// the handle's grant, no transaction has acquired the key since, so by
+// Moss's rule the no-conflict condition that held at grant time still
+// holds (holder removals can only shrink the conflict set, and an active
+// transaction's own locks are never removed — ancestors outlive
+// descendants). On an epoch mismatch Reacquire* falls back to the full
+// grant path on the same key state.
+//
+// The argument extends to handles inherited up the commit chain (a
+// committing child hands its cached handles to its parent): on an epoch
+// match, every write holder was an ancestor of the handle's original
+// owner O. A holder that is not also an ancestor of the reusing ancestor
+// P would have to lie strictly between P and O; for the handle to have
+// reached P, every transaction on that path has committed — which erased
+// it from the holder sets. So the no-conflict condition holds for P too.
 #ifndef NESTEDTX_CORE_LOCK_MANAGER_H_
 #define NESTEDTX_CORE_LOCK_MANAGER_H_
 
 #include <condition_variable>
 #include <functional>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -38,16 +57,31 @@ namespace nestedtx {
 
 class LockManager {
  public:
+  /// Opaque per-key lock-table entry (stable for the manager's lifetime).
+  struct KeyState;
+
+  /// Handle to a lock this owner was granted on a key: which modes were
+  /// held and the key's holder epoch at grant time. Valid for the
+  /// lifetime of the LockManager; trivially copyable.
+  struct HeldLock {
+    KeyState* key = nullptr;
+    uint64_t epoch = 0;
+    bool read = false;   // owner was in the read-holder set
+    bool write = false;  // owner was in the write-holder set
+  };
+
   LockManager(const EngineOptions& options, EngineStats* stats);
+  ~LockManager();
 
   /// Acquire a read lock on `key` for `txn` (blocking) and return the
   /// value `txn` observes: the deepest write holder's version, else the
   /// committed base, else nullopt (absent key). If tracing is enabled and
   /// `trace` is given, the access's event group is recorded atomically
-  /// with the grant.
+  /// with the grant. On success `held` (if given) receives the fast-path
+  /// handle for this key.
   Result<std::optional<int64_t>> AcquireRead(
       const TransactionId& txn, const std::string& key,
-      const AccessTraceInfo* trace = nullptr);
+      const AccessTraceInfo* trace = nullptr, HeldLock* held = nullptr);
 
   /// Acquire a write lock on `key` for `txn` (blocking), apply `mutator`
   /// to the observed value, store the result as txn's version, and return
@@ -56,16 +90,42 @@ class LockManager {
       std::function<std::optional<int64_t>(std::optional<int64_t>)>;
   Result<std::optional<int64_t>> AcquireWrite(
       const TransactionId& txn, const std::string& key,
-      const Mutator& mutator, const AccessTraceInfo* trace = nullptr);
+      const Mutator& mutator, const AccessTraceInfo* trace = nullptr,
+      HeldLock* held = nullptr);
+
+  /// Re-acquire a read lock on the key of `held`, which must come from a
+  /// prior successful acquire by the same `txn` on this manager. Takes the
+  /// fast lane when the held lock is still sufficient, else the full
+  /// grant path on the same key. Updates `held` in place.
+  Result<std::optional<int64_t>> ReacquireRead(
+      HeldLock& held, const TransactionId& txn,
+      const AccessTraceInfo* trace = nullptr);
+
+  /// Write-lock counterpart of ReacquireRead.
+  Result<std::optional<int64_t>> ReacquireWrite(
+      HeldLock& held, const TransactionId& txn, const Mutator& mutator,
+      const AccessTraceInfo* trace = nullptr);
+
+  /// A key a transaction touched, with its cached fast-path handle (the
+  /// handle may be stale or empty; only its KeyState pointer is relied
+  /// upon, to skip the shard lookup on commit/abort).
+  struct KeyHold {
+    std::string key;
+    HeldLock held;
+  };
 
   /// Commit `txn`'s entries on `keys`: locks and version pass to `parent`.
   /// A top-level commit (parent == T0) releases the locks and installs the
   /// version as the committed base.
   void OnCommit(const TransactionId& txn, const TransactionId& parent,
-                const std::set<std::string>& keys);
+                const std::vector<std::string>& keys);
+  void OnCommit(const TransactionId& txn, const TransactionId& parent,
+                const std::vector<KeyHold>& keys);
 
   /// Abort `txn`: its entries on `keys` are discarded.
-  void OnAbort(const TransactionId& txn, const std::set<std::string>& keys);
+  void OnAbort(const TransactionId& txn,
+               const std::vector<std::string>& keys);
+  void OnAbort(const TransactionId& txn, const std::vector<KeyHold>& keys);
 
   /// Non-transactional access to the committed base (preload/verify).
   void SetBase(const std::string& key, std::optional<int64_t> value);
@@ -81,16 +141,33 @@ class LockManager {
   EngineTraceRecorder* trace_recorder() { return recorder_; }
 
  private:
-  struct KeyState {
-    std::mutex m;
-    std::condition_variable cv;
-    std::set<TransactionId> read_holders;
-    std::set<TransactionId> write_holders;
-    std::map<TransactionId, std::optional<int64_t>> versions;
-    std::optional<int64_t> base;
-  };
-
   KeyState& GetKeyState(const std::string& key);
+
+  // Per-key commit/abort bodies shared by the OnCommit/OnAbort overloads.
+  void CommitKey(KeyState& ks, const TransactionId& txn,
+                 const TransactionId& parent);
+  void AbortKey(KeyState& ks, const TransactionId& txn);
+
+  // Full grant paths on an already-resolved key state.
+  Result<std::optional<int64_t>> AcquireReadOn(KeyState& ks,
+                                               const TransactionId& txn,
+                                               const AccessTraceInfo* trace,
+                                               HeldLock* held);
+  Result<std::optional<int64_t>> AcquireWriteOn(KeyState& ks,
+                                                const TransactionId& txn,
+                                                const Mutator& mutator,
+                                                const AccessTraceInfo* trace,
+                                                HeldLock* held);
+
+  // Fast lanes; return false (without side effects) when the held lock is
+  // insufficient or the holder epoch moved.
+  bool TryReacquireRead(HeldLock& held, const TransactionId& txn,
+                        const AccessTraceInfo* trace,
+                        Result<std::optional<int64_t>>* result);
+  bool TryReacquireWrite(HeldLock& held, const TransactionId& txn,
+                         const Mutator& mutator,
+                         const AccessTraceInfo* trace,
+                         Result<std::optional<int64_t>>* result);
 
   // The value txn observes: deepest write holder's version, else base.
   // Caller holds ks.m.

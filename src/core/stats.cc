@@ -4,37 +4,56 @@
 
 namespace nestedtx {
 
-std::string EngineStats::ToString() const {
-  std::ostringstream oss;
-  oss << "txns{begun=" << txns_begun.load()
-      << " committed=" << txns_committed.load()
-      << " aborted=" << txns_aborted.load()
-      << " top_committed=" << top_level_committed.load()
-      << " top_aborted=" << top_level_aborted.load() << "}"
-      << " ops{reads=" << reads.load() << " writes=" << writes.load() << "}"
-      << " locks{grants=" << lock_grants.load()
-      << " waits=" << lock_waits.load()
-      << " deadlocks=" << deadlocks.load()
-      << " timeouts=" << lock_timeouts.load()
-      << " inherited=" << locks_inherited.load()
-      << " versions_discarded=" << versions_discarded.load() << "}";
-  return oss.str();
+uint32_t EngineStats::ThreadSlot() {
+  static std::atomic<uint32_t> next{0};
+  static thread_local uint32_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+StatsSnapshot EngineStats::Snapshot() const {
+  uint64_t sums[kStatNumCounters] = {};
+  for (const Stripe& s : stripes_) {
+    for (int i = 0; i < kStatNumCounters; ++i) {
+      sums[i] += s.c[i].load(std::memory_order_relaxed);
+    }
+  }
+  StatsSnapshot out;
+  out.txns_begun = sums[kStatTxnsBegun];
+  out.txns_committed = sums[kStatTxnsCommitted];
+  out.txns_aborted = sums[kStatTxnsAborted];
+  out.top_level_committed = sums[kStatTopLevelCommitted];
+  out.top_level_aborted = sums[kStatTopLevelAborted];
+  out.reads = sums[kStatReads];
+  out.writes = sums[kStatWrites];
+  out.lock_grants = sums[kStatLockGrants];
+  out.lock_waits = sums[kStatLockWaits];
+  out.deadlocks = sums[kStatDeadlocks];
+  out.lock_timeouts = sums[kStatLockTimeouts];
+  out.locks_inherited = sums[kStatLocksInherited];
+  out.versions_discarded = sums[kStatVersionsDiscarded];
+  return out;
 }
 
 void EngineStats::Reset() {
-  txns_begun = 0;
-  txns_committed = 0;
-  txns_aborted = 0;
-  top_level_committed = 0;
-  top_level_aborted = 0;
-  reads = 0;
-  writes = 0;
-  lock_grants = 0;
-  lock_waits = 0;
-  deadlocks = 0;
-  lock_timeouts = 0;
-  locks_inherited = 0;
-  versions_discarded = 0;
+  for (Stripe& s : stripes_) {
+    for (int i = 0; i < kStatNumCounters; ++i) {
+      s.c[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::string StatsSnapshot::ToString() const {
+  std::ostringstream oss;
+  oss << "txns{begun=" << txns_begun << " committed=" << txns_committed
+      << " aborted=" << txns_aborted << " top_committed=" << top_level_committed
+      << " top_aborted=" << top_level_aborted << "}"
+      << " ops{reads=" << reads << " writes=" << writes << "}"
+      << " locks{grants=" << lock_grants << " waits=" << lock_waits
+      << " deadlocks=" << deadlocks << " timeouts=" << lock_timeouts
+      << " inherited=" << locks_inherited
+      << " versions_discarded=" << versions_discarded << "}";
+  return oss.str();
 }
 
 }  // namespace nestedtx

@@ -1,4 +1,7 @@
-// Engine counters. All atomics; cheap enough to leave always-on.
+// Engine counters. Always-on, so they must be cheap on the hot path:
+// counters are striped across cache-line-aligned shards indexed by a
+// per-thread slot, so concurrent workers never contend on (or bounce)
+// a shared counter line. Readers aggregate with Snapshot().
 #ifndef NESTEDTX_CORE_STATS_H_
 #define NESTEDTX_CORE_STATS_H_
 
@@ -8,24 +11,79 @@
 
 namespace nestedtx {
 
-struct EngineStats {
-  std::atomic<uint64_t> txns_begun{0};
-  std::atomic<uint64_t> txns_committed{0};
-  std::atomic<uint64_t> txns_aborted{0};
-  std::atomic<uint64_t> top_level_committed{0};
-  std::atomic<uint64_t> top_level_aborted{0};
-  std::atomic<uint64_t> reads{0};
-  std::atomic<uint64_t> writes{0};
-  std::atomic<uint64_t> lock_grants{0};
-  std::atomic<uint64_t> lock_waits{0};
-  std::atomic<uint64_t> deadlocks{0};
-  std::atomic<uint64_t> lock_timeouts{0};
-  std::atomic<uint64_t> locks_inherited{0};
-  std::atomic<uint64_t> versions_discarded{0};
+/// Counter identifiers (indices into a stripe).
+enum StatCounter : int {
+  kStatTxnsBegun = 0,
+  kStatTxnsCommitted,
+  kStatTxnsAborted,
+  kStatTopLevelCommitted,
+  kStatTopLevelAborted,
+  kStatReads,
+  kStatWrites,
+  kStatLockGrants,
+  kStatLockWaits,
+  kStatDeadlocks,
+  kStatLockTimeouts,
+  kStatLocksInherited,
+  kStatVersionsDiscarded,
+  kStatNumCounters,
+};
+
+/// A coherent point-in-time aggregate of every counter (plain values).
+struct StatsSnapshot {
+  uint64_t txns_begun = 0;
+  uint64_t txns_committed = 0;
+  uint64_t txns_aborted = 0;
+  uint64_t top_level_committed = 0;
+  uint64_t top_level_aborted = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t lock_grants = 0;
+  uint64_t lock_waits = 0;
+  uint64_t deadlocks = 0;
+  uint64_t lock_timeouts = 0;
+  uint64_t locks_inherited = 0;
+  uint64_t versions_discarded = 0;
 
   std::string ToString() const;
+};
+
+class EngineStats {
+ public:
+  /// Bump `c` by `n` on the calling thread's stripe (relaxed; never
+  /// contends with other threads' increments).
+  void Add(StatCounter c, uint64_t n = 1) {
+    stripes_[ThreadSlot() & (kStripes - 1)].c[c].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Bump two counters by one with a single stripe lookup (the common
+  /// grant+read / grant+write pairing on the access path).
+  void Add2(StatCounter a, StatCounter b) {
+    Stripe& s = stripes_[ThreadSlot() & (kStripes - 1)];
+    s.c[a].fetch_add(1, std::memory_order_relaxed);
+    s.c[b].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Aggregate all stripes.
+  StatsSnapshot Snapshot() const;
+
+  std::string ToString() const { return Snapshot().ToString(); }
 
   void Reset();
+
+ private:
+  static constexpr size_t kStripes = 8;  // power of two
+
+  struct alignas(64) Stripe {
+    std::atomic<uint64_t> c[kStatNumCounters]{};
+  };
+
+  // Process-wide monotone thread slot; a thread keeps its slot for life,
+  // so its increments always land on the same stripe.
+  static uint32_t ThreadSlot();
+
+  Stripe stripes_[kStripes];
 };
 
 }  // namespace nestedtx

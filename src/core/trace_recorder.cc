@@ -101,7 +101,7 @@ Result<SystemType> EngineTraceRecorder::BuildSystemType() const {
   }
   for (const TransactionId& id : ids) {
     const TransactionId parent = id.Parent();
-    const uint32_t index = id.path().back();
+    const uint32_t index = id.back();
     auto acc = accesses_.find(id);
     // Explicit indices: child slots consumed by operations that never ran
     // (failed lock acquisitions) leave gaps, which the builder skips.

@@ -1,9 +1,32 @@
 #include "core/transaction.h"
 
+#include <algorithm>
+
 #include "serial/data_type.h"
 #include "util/strings.h"
 
 namespace nestedtx {
+
+namespace {
+
+// Position of `key` in the sorted key inventory.
+std::vector<LockManager::KeyHold>::iterator FindKey(
+    std::vector<LockManager::KeyHold>& keys, const std::string& key) {
+  return std::lower_bound(
+      keys.begin(), keys.end(), key,
+      [](const LockManager::KeyHold& e, const std::string& k) {
+        return e.key < k;
+      });
+}
+
+// Sorted-unique insert; an existing entry (and its cached handle) wins.
+void InsertKey(std::vector<LockManager::KeyHold>& keys,
+               const LockManager::KeyHold& entry) {
+  auto it = FindKey(keys, entry.key);
+  if (it == keys.end() || it->key != entry.key) keys.insert(it, entry);
+}
+
+}  // namespace
 
 const char* CcModeName(CcMode mode) {
   switch (mode) {
@@ -22,7 +45,7 @@ const char* CcModeName(CcMode mode) {
 Transaction::Transaction(TransactionManager* manager, Transaction* parent,
                          TransactionId id)
     : manager_(manager), parent_(parent), id_(std::move(id)) {
-  manager_->stats().txns_begun.fetch_add(1);
+  manager_->stats().Add(kStatTxnsBegun);
 }
 
 Transaction::~Transaction() {
@@ -39,7 +62,8 @@ Transaction* Transaction::TopLevel() {
 
 bool Transaction::doomed() const {
   if (doomed_.load()) return true;
-  // Under flat 2PL a doomed top dooms the whole tree.
+  // Only flat 2PL ever dooms a tree; skip the ancestor walk otherwise.
+  if (manager_->options().cc_mode != CcMode::kFlat2PL) return false;
   const Transaction* t = parent_;
   while (t != nullptr) {
     if (t->doomed_.load()) return true;
@@ -67,12 +91,20 @@ Status Transaction::CheckActive() const {
   return Status::OK();
 }
 
-const AccessTraceInfo* Transaction::PrepareAccess(const std::string& key,
-                                                  uint32_t op_code,
-                                                  Value op_arg,
-                                                  AccessTraceInfo* info) {
+const AccessTraceInfo* Transaction::PrepareAccess(
+    const std::string& key, uint32_t op_code, Value op_arg,
+    AccessTraceInfo* info, LockManager::HeldLock* held, bool* have_held,
+    size_t* idx) {
   std::lock_guard<std::mutex> lock(mutex_);
-  keys_.insert(key);
+  auto it = FindKey(keys_, key);
+  if (it == keys_.end() || it->key != key) {
+    it = keys_.insert(it, LockManager::KeyHold{key, {}});
+  }
+  *idx = static_cast<size_t>(it - keys_.begin());
+  if (it->held.key != nullptr) {
+    *held = it->held;
+    *have_held = true;
+  }
   if (manager_->locks().trace_recorder() == nullptr) return nullptr;
   // Accesses are children of this transaction in the model; they share
   // the child-index space with subtransactions.
@@ -80,6 +112,61 @@ const AccessTraceInfo* Transaction::PrepareAccess(const std::string& key,
   info->op_code = op_code;
   info->op_arg = op_arg;
   return info;
+}
+
+void Transaction::CacheHeld(size_t idx, const std::string& key,
+                            const LockManager::HeldLock& held) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (idx < keys_.size() && keys_[idx].key == key) {
+    keys_[idx].held = held;
+    return;
+  }
+  // A committing child merged entries in and shifted the index.
+  auto it = FindKey(keys_, key);
+  if (it != keys_.end() && it->key == key) it->held = held;
+}
+
+Result<std::optional<int64_t>> Transaction::LockedRead(
+    const std::string& key, const AccessTraceInfo* trace,
+    LockManager::HeldLock held, bool have_held, size_t idx) {
+  LockManager& locks = manager_->locks();
+  if (have_held) {
+    const LockManager::HeldLock before = held;
+    Result<std::optional<int64_t>> r =
+        locks.ReacquireRead(held, LockOwner(), trace);
+    if (r.ok() &&
+        (held.epoch != before.epoch || held.read != before.read ||
+         held.write != before.write)) {
+      CacheHeld(idx, key, held);
+    }
+    return r;
+  }
+  Result<std::optional<int64_t>> r =
+      locks.AcquireRead(LockOwner(), key, trace, &held);
+  if (r.ok()) CacheHeld(idx, key, held);
+  return r;
+}
+
+Result<std::optional<int64_t>> Transaction::LockedWrite(
+    const std::string& key, const LockManager::Mutator& m,
+    const AccessTraceInfo* trace, LockManager::HeldLock held,
+    bool have_held, size_t idx) {
+  LockManager& locks = manager_->locks();
+  if (have_held) {
+    const LockManager::HeldLock before = held;
+    Result<std::optional<int64_t>> r =
+        locks.ReacquireWrite(held, LockOwner(), m, trace);
+    if (r.ok() &&
+        (held.epoch != before.epoch || held.read != before.read ||
+         held.write != before.write)) {
+      CacheHeld(idx, key, held);
+    }
+    return r;
+  }
+  Result<std::optional<int64_t>> r =
+      locks.AcquireWrite(LockOwner(), key, m, trace, &held);
+  if (r.ok()) CacheHeld(idx, key, held);
+  return r;
 }
 
 void Transaction::AddToAggregate(Value v) {
@@ -93,16 +180,19 @@ Result<std::optional<int64_t>> Transaction::TryGet(const std::string& key) {
   const bool exclusive_reads =
       manager_->options().cc_mode == CcMode::kExclusive;
   AccessTraceInfo info;
+  LockManager::HeldLock held;
+  bool have_held = false;
+  size_t idx = 0;
   const AccessTraceInfo* trace =
-      PrepareAccess(key, ops::kRead, 0, &info);
+      PrepareAccess(key, ops::kRead, 0, &info, &held, &have_held, &idx);
   Result<std::optional<int64_t>> r =
       exclusive_reads
           // Exclusive locking: reads take write locks; the version copy
           // is the model's write-access behaviour.
-          ? manager_->locks().AcquireWrite(
-                LockOwner(), key,
-                [](std::optional<int64_t> v) { return v; }, trace)
-          : manager_->locks().AcquireRead(LockOwner(), key, trace);
+          ? LockedWrite(
+                key, [](std::optional<int64_t> v) { return v; }, trace,
+                held, have_held, idx)
+          : LockedRead(key, trace, held, have_held, idx);
   if (r.ok() && trace != nullptr) {
     AddToAggregate(r->value_or(kAbsentValue));
   }
@@ -113,16 +203,20 @@ Result<std::optional<int64_t>> Transaction::GetForUpdate(
     const std::string& key) {
   RETURN_IF_ERROR(CheckActive());
   AccessTraceInfo info;
+  LockManager::HeldLock held;
+  bool have_held = false;
+  size_t idx = 0;
   const AccessTraceInfo* trace =
-      PrepareAccess(key, ops::kRead, 0, &info);
+      PrepareAccess(key, ops::kRead, 0, &info, &held, &have_held, &idx);
   if (trace != nullptr) {
     // In the model this is a write access running a read-only operation.
     info.op_code = ops::kRead;
   }
   // A write lock with an identity mutator: the version copy is what the
   // model's write access does, and it makes the read abort-safe.
-  Result<std::optional<int64_t>> r = manager_->locks().AcquireWrite(
-      LockOwner(), key, [](std::optional<int64_t> v) { return v; }, trace);
+  Result<std::optional<int64_t>> r = LockedWrite(
+      key, [](std::optional<int64_t> v) { return v; }, trace, held,
+      have_held, idx);
   if (r.ok() && trace != nullptr) {
     AddToAggregate(r->value_or(kAbsentValue));
   }
@@ -141,11 +235,15 @@ Result<int64_t> Transaction::Get(const std::string& key) {
 Status Transaction::Put(const std::string& key, int64_t value) {
   RETURN_IF_ERROR(CheckActive());
   AccessTraceInfo info;
-  const AccessTraceInfo* trace =
-      PrepareAccess(key, ops::kWrite, value, &info);
-  Result<std::optional<int64_t>> r = manager_->locks().AcquireWrite(
-      LockOwner(), key, [value](std::optional<int64_t>) { return value; },
-      trace);
+  LockManager::HeldLock held;
+  bool have_held = false;
+  size_t idx = 0;
+  const AccessTraceInfo* trace = PrepareAccess(key, ops::kWrite, value,
+                                               &info, &held, &have_held,
+                                               &idx);
+  Result<std::optional<int64_t>> r = LockedWrite(
+      key, [value](std::optional<int64_t>) { return value; }, trace, held,
+      have_held, idx);
   if (r.ok() && trace != nullptr) AddToAggregate(value);
   return r.ok() ? Status::OK() : r.status();
 }
@@ -153,12 +251,16 @@ Status Transaction::Put(const std::string& key, int64_t value) {
 Result<int64_t> Transaction::Add(const std::string& key, int64_t delta) {
   RETURN_IF_ERROR(CheckActive());
   AccessTraceInfo info;
-  const AccessTraceInfo* trace =
-      PrepareAccess(key, ops::kCellAdd, delta, &info);
-  Result<std::optional<int64_t>> r = manager_->locks().AcquireWrite(
-      LockOwner(), key,
+  LockManager::HeldLock held;
+  bool have_held = false;
+  size_t idx = 0;
+  const AccessTraceInfo* trace = PrepareAccess(key, ops::kCellAdd, delta,
+                                               &info, &held, &have_held,
+                                               &idx);
+  Result<std::optional<int64_t>> r = LockedWrite(
+      key,
       [delta](std::optional<int64_t> v) { return v.value_or(0) + delta; },
-      trace);
+      trace, held, have_held, idx);
   if (!r.ok()) return r.status();
   if (trace != nullptr) AddToAggregate(**r);
   return **r;
@@ -167,11 +269,15 @@ Result<int64_t> Transaction::Add(const std::string& key, int64_t delta) {
 Status Transaction::Delete(const std::string& key) {
   RETURN_IF_ERROR(CheckActive());
   AccessTraceInfo info;
-  const AccessTraceInfo* trace =
-      PrepareAccess(key, ops::kCellDelete, 0, &info);
-  Result<std::optional<int64_t>> r = manager_->locks().AcquireWrite(
-      LockOwner(), key, [](std::optional<int64_t>) { return std::nullopt; },
-      trace);
+  LockManager::HeldLock held;
+  bool have_held = false;
+  size_t idx = 0;
+  const AccessTraceInfo* trace = PrepareAccess(key, ops::kCellDelete, 0,
+                                               &info, &held, &have_held,
+                                               &idx);
+  Result<std::optional<int64_t>> r = LockedWrite(
+      key, [](std::optional<int64_t>) { return std::nullopt; }, trace,
+      held, have_held, idx);
   if (r.ok() && trace != nullptr) AddToAggregate(kAbsentValue);
   return r.ok() ? Status::OK() : r.status();
 }
@@ -193,13 +299,16 @@ Result<std::unique_ptr<Transaction>> Transaction::BeginChild() {
 }
 
 void Transaction::MergeKeysIntoParent() {
-  std::set<std::string> keys;
+  std::vector<LockManager::KeyHold> keys;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     keys.swap(keys_);
   }
+  // Cached handles ride along: their KeyState pointers stay valid, and a
+  // handle whose epoch/modes no longer fit the parent simply falls back
+  // to the full grant path (see lock_manager.h on inherited handles).
   std::lock_guard<std::mutex> lock(parent_->mutex_);
-  parent_->keys_.insert(keys.begin(), keys.end());
+  for (const LockManager::KeyHold& k : keys) InsertKey(parent_->keys_, k);
 }
 
 Status Transaction::Commit() {
@@ -225,15 +334,15 @@ Status Transaction::Commit() {
   }
   if (parent_ == nullptr) {
     // Top-level commit: everything becomes the committed base.
-    std::set<std::string> keys;
+    std::vector<LockManager::KeyHold> keys;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       keys.swap(keys_);
     }
     manager_->locks().OnCommit(id_, TransactionId::Root(), keys);
     if (rec != nullptr) rec->Emit(Event::ReportCommit(id_, my_aggregate));
-    manager_->stats().txns_committed.fetch_add(1);
-    manager_->stats().top_level_committed.fetch_add(1);
+    manager_->stats().Add(kStatTxnsCommitted);
+    manager_->stats().Add(kStatTopLevelCommitted);
     if (mode == CcMode::kSerial) manager_->ReleaseSerialGate();
     return Status::OK();
   }
@@ -244,7 +353,7 @@ Status Transaction::Commit() {
     // inventory up so the top-level release sees everything.
     MergeKeysIntoParent();
   } else {
-    std::set<std::string> keys;
+    std::vector<LockManager::KeyHold> keys;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       keys = keys_;
@@ -256,7 +365,7 @@ Status Transaction::Commit() {
     rec->Emit(Event::ReportCommit(id_, my_aggregate));
     parent_->AddToAggregate(my_aggregate);
   }
-  manager_->stats().txns_committed.fetch_add(1);
+  manager_->stats().Add(kStatTxnsCommitted);
   parent_->active_children_.fetch_sub(1);
   return Status::OK();
 }
@@ -273,7 +382,7 @@ Status Transaction::Abort() {
   const CcMode mode = manager_->options().cc_mode;
   EngineTraceRecorder* rec = manager_->locks().trace_recorder();
   if (rec != nullptr) rec->Emit(Event::Abort(id_));
-  std::set<std::string> keys;
+  std::vector<LockManager::KeyHold> keys;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     keys.swap(keys_);
@@ -284,14 +393,14 @@ Status Transaction::Abort() {
     // top-level owner and are rolled back when the top aborts.
     TopLevel()->doomed_.store(true);
     std::lock_guard<std::mutex> lock(parent_->mutex_);
-    parent_->keys_.insert(keys.begin(), keys.end());
+    for (const LockManager::KeyHold& k : keys) InsertKey(parent_->keys_, k);
   } else {
     manager_->locks().OnAbort(LockOwner(), keys);
   }
   if (rec != nullptr) rec->Emit(Event::ReportAbort(id_));
-  manager_->stats().txns_aborted.fetch_add(1);
+  manager_->stats().Add(kStatTxnsAborted);
   if (parent_ == nullptr) {
-    manager_->stats().top_level_aborted.fetch_add(1);
+    manager_->stats().Add(kStatTopLevelAborted);
     if (mode == CcMode::kSerial) manager_->ReleaseSerialGate();
   } else {
     parent_->active_children_.fetch_sub(1);
@@ -318,11 +427,8 @@ void TransactionManager::ReleaseSerialGate() {
 
 std::unique_ptr<Transaction> TransactionManager::Begin() {
   if (options_.cc_mode == CcMode::kSerial) AcquireSerialGate();
-  TransactionId id;
-  {
-    std::lock_guard<std::mutex> lock(top_mutex_);
-    id = TransactionId::Root().Child(top_counter_++);
-  }
+  TransactionId id = TransactionId::Root().Child(
+      top_counter_.fetch_add(1, std::memory_order_relaxed));
   if (EngineTraceRecorder* rec = locks_.trace_recorder()) {
     rec->Emit(Event::RequestCreate(id));
     rec->Emit(Event::Create(id));

@@ -13,6 +13,13 @@
 // on a returned or doomed transaction fail. A handle destroyed without
 // returning aborts automatically (RAII).
 //
+// Hot path: each handle keeps a held-lock cache (key -> HeldLock handle
+// from the lock manager). A re-read under a held read/write lock or a
+// re-write under a held write lock goes through the lock manager's
+// Reacquire* fast lane, skipping the shard hash, the conflict scan and
+// the holder-set insert (see lock_manager.h for the epoch-based safety
+// argument).
+//
 // Concurrency-control behaviour per CcMode is documented in options.h.
 #ifndef NESTEDTX_CORE_TRANSACTION_H_
 #define NESTEDTX_CORE_TRANSACTION_H_
@@ -20,8 +27,8 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
-#include <set>
 #include <string>
+#include <vector>
 
 #include "core/lock_manager.h"
 #include "core/options.h"
@@ -96,12 +103,33 @@ class Transaction {
   void MergeKeysIntoParent();
   Transaction* TopLevel();
 
-  /// When tracing: allocate an access child id and fill `info`; returns
-  /// the info pointer to pass to the lock manager (nullptr when not
-  /// tracing). Also registers `key` in keys_.
+  /// Register `key` in the key inventory, copy out any cached held-lock
+  /// handle for it (plus its inventory index, a hint for CacheHeld), and
+  /// (when tracing) allocate an access child id into `info`; returns the
+  /// info pointer to pass to the lock manager (nullptr when not tracing).
   const AccessTraceInfo* PrepareAccess(const std::string& key,
                                        uint32_t op_code, Value op_arg,
-                                       AccessTraceInfo* info);
+                                       AccessTraceInfo* info,
+                                       LockManager::HeldLock* held,
+                                       bool* have_held, size_t* idx);
+  /// Store/update the held-lock handle cached for `key`. `idx` is the
+  /// entry's position as of PrepareAccess — revalidated, since committing
+  /// children may have merged entries in since.
+  void CacheHeld(size_t idx, const std::string& key,
+                 const LockManager::HeldLock& held);
+
+  /// Read/write through the lock manager, taking the held-lock fast lane
+  /// when a sufficient cached handle exists.
+  Result<std::optional<int64_t>> LockedRead(const std::string& key,
+                                            const AccessTraceInfo* trace,
+                                            LockManager::HeldLock held,
+                                            bool have_held, size_t idx);
+  Result<std::optional<int64_t>> LockedWrite(const std::string& key,
+                                             const LockManager::Mutator& m,
+                                             const AccessTraceInfo* trace,
+                                             LockManager::HeldLock held,
+                                             bool have_held, size_t idx);
+
   /// When tracing: fold a child report value into this transaction's
   /// aggregate (unsigned wraparound, mirroring ScriptedTransaction).
   void AddToAggregate(Value v);
@@ -110,8 +138,11 @@ class Transaction {
   Transaction* parent_;  // nullptr for top-level
   TransactionId id_;
 
-  std::mutex mutex_;                  // guards keys_ and child_counter_
-  std::set<std::string> keys_;        // keys this txn may hold entries on
+  std::mutex mutex_;  // guards keys_, child_counter_, aggregate_
+  /// Keys this transaction may hold locks on, sorted by key, each with
+  /// the cached fast-path handle from its latest successful acquire (an
+  /// empty/stale handle just falls back to the full grant path).
+  std::vector<LockManager::KeyHold> keys_;
   uint32_t child_counter_ = 0;
   std::atomic<int> active_children_{0};
   std::atomic<bool> returned_{false};
@@ -145,8 +176,7 @@ class TransactionManager {
   EngineStats stats_;
   LockManager locks_;
 
-  std::mutex top_mutex_;
-  uint32_t top_counter_ = 0;
+  std::atomic<uint32_t> top_counter_{0};
 
   std::mutex gate_mutex_;
   std::condition_variable gate_cv_;

@@ -39,7 +39,7 @@ bool HasObject(EventKind kind) {
 
 std::string TransactionIdToText(const TransactionId& id) {
   if (id.IsRoot()) return "-";
-  return Join(id.path(), ".");
+  return Join(id.PathVector(), ".");
 }
 
 Result<TransactionId> TransactionIdFromText(const std::string& text) {

@@ -69,7 +69,7 @@ Result<SystemType> SystemTypeFromText(const std::string& text) {
       if (!id.ok()) return BadLine(line_no, id.status().message());
       if (id->IsRoot()) return BadLine(line_no, "T0 is implicit");
       const TransactionId parent = id->Parent();
-      const uint32_t index = id->path().back();
+      const uint32_t index = id->back();
       if (!internal.count(parent)) {
         return BadLine(line_no,
                        "parent not yet declared as an internal txn");

@@ -5,42 +5,44 @@
 
 namespace nestedtx {
 
+TransactionId::TransactionId(const uint32_t* path, uint32_t n) {
+  hash_ = HashRange(path, n, kFnvOffset);
+  std::memcpy(MutableAlloc(n), path, size_t{n} * 4);
+}
+
+TransactionId::TransactionId(const uint32_t* path, uint32_t n,
+                             size_t prefix_hash, uint32_t extra) {
+  hash_ = (prefix_hash ^ extra) * kFnvPrime;
+  uint32_t* dst = MutableAlloc(n + 1);
+  std::memcpy(dst, path, size_t{n} * 4);
+  dst[n] = extra;
+}
+
 TransactionId TransactionId::Child(uint32_t index) const {
-  std::vector<uint32_t> p = path_;
-  p.push_back(index);
-  return TransactionId(std::move(p));
+  return TransactionId(data(), size_, hash_, index);
 }
 
 TransactionId TransactionId::Parent() const {
   assert(!IsRoot() && "T0 has no parent");
-  std::vector<uint32_t> p(path_.begin(), path_.end() - 1);
-  return TransactionId(std::move(p));
-}
-
-bool TransactionId::IsAncestorOf(const TransactionId& other) const {
-  if (path_.size() > other.path_.size()) return false;
-  for (size_t i = 0; i < path_.size(); ++i) {
-    if (path_[i] != other.path_[i]) return false;
-  }
-  return true;
+  return TransactionId(data(), size_ - 1);
 }
 
 TransactionId TransactionId::Lca(const TransactionId& other) const {
-  std::vector<uint32_t> p;
-  const size_t n = std::min(path_.size(), other.path_.size());
-  for (size_t i = 0; i < n && path_[i] == other.path_[i]; ++i) {
-    p.push_back(path_[i]);
-  }
-  return TransactionId(std::move(p));
+  const uint32_t* a = data();
+  const uint32_t* b = other.data();
+  const uint32_t n = size_ < other.size_ ? size_ : other.size_;
+  uint32_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return TransactionId(a, i);
 }
 
 std::vector<TransactionId> TransactionId::AncestorsToRoot() const {
   std::vector<TransactionId> out;
-  TransactionId cur = *this;
-  out.push_back(cur);
-  while (!cur.IsRoot()) {
-    cur = cur.Parent();
-    out.push_back(cur);
+  out.reserve(size_ + 1);
+  const uint32_t* p = data();
+  for (uint32_t n = size_;; --n) {
+    out.push_back(TransactionId(p, n));
+    if (n == 0) break;
   }
   return out;
 }
@@ -48,28 +50,17 @@ std::vector<TransactionId> TransactionId::AncestorsToRoot() const {
 TransactionId TransactionId::ChildOfAncestorToward(
     const TransactionId& ancestor) const {
   assert(ancestor.IsProperAncestorOf(*this));
-  std::vector<uint32_t> p(path_.begin(),
-                          path_.begin() + ancestor.path_.size() + 1);
-  return TransactionId(std::move(p));
+  return TransactionId(data(), ancestor.size_ + 1);
 }
 
 std::string TransactionId::ToString() const {
   std::string out = "T0";
-  for (uint32_t c : path_) {
+  const uint32_t* p = data();
+  for (uint32_t i = 0; i < size_; ++i) {
     out += '.';
-    out += std::to_string(c);
+    out += std::to_string(p[i]);
   }
   return out;
-}
-
-size_t TransactionId::Hash() const {
-  // FNV-1a over the path elements.
-  size_t h = 1469598103934665603ULL;
-  for (uint32_t c : path_) {
-    h ^= c;
-    h *= 1099511628211ULL;
-  }
-  return h;
 }
 
 std::ostream& operator<<(std::ostream& os, const TransactionId& id) {

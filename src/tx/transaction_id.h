@@ -6,10 +6,19 @@
 // path, its i-th child is [i], that child's j-th child is [i, j], etc.
 // Following the paper, ancestor/descendant are reflexive: every transaction
 // is its own ancestor and its own descendant.
+//
+// Representation: packed value type with small-buffer path storage. Paths
+// up to kInlineDepth elements live inline (no heap allocation — the lock
+// manager copies and compares ids on every grant, so Child/Parent/Lca/
+// IsAncestorOf/ordering/Hash are allocation-free at realistic depths);
+// deeper paths spill to an exact-size heap array. The FNV-1a hash is
+// computed once at construction and cached, and Child() extends the
+// parent's hash incrementally in O(1).
 #ifndef NESTEDTX_TX_TRANSACTION_ID_H_
 #define NESTEDTX_TX_TRANSACTION_ID_H_
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <vector>
@@ -19,11 +28,32 @@ namespace nestedtx {
 /// Value-type hierarchical transaction name (a path of child indices).
 class TransactionId {
  public:
+  /// Paths up to this depth are stored inline (zero heap allocations).
+  static constexpr size_t kInlineDepth = 12;
+
   /// The root transaction T0 (empty path).
   TransactionId() = default;
 
-  explicit TransactionId(std::vector<uint32_t> path)
-      : path_(std::move(path)) {}
+  explicit TransactionId(const std::vector<uint32_t>& path)
+      : TransactionId(path.data(), static_cast<uint32_t>(path.size())) {}
+
+  TransactionId(const TransactionId& other) { CopyFrom(other); }
+  TransactionId(TransactionId&& other) noexcept { StealFrom(other); }
+  TransactionId& operator=(const TransactionId& other) {
+    if (this != &other) {
+      FreeHeap();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+  TransactionId& operator=(TransactionId&& other) noexcept {
+    if (this != &other) {
+      FreeHeap();
+      StealFrom(other);
+    }
+    return *this;
+  }
+  ~TransactionId() { FreeHeap(); }
 
   static TransactionId Root() { return TransactionId(); }
 
@@ -33,14 +63,18 @@ class TransactionId {
   /// Parent of this transaction. Requires !IsRoot().
   TransactionId Parent() const;
 
-  bool IsRoot() const { return path_.empty(); }
+  bool IsRoot() const { return size_ == 0; }
 
   /// Nesting depth: 0 for T0, 1 for top-level transactions, etc.
-  size_t Depth() const { return path_.size(); }
+  size_t Depth() const { return size_; }
 
   /// Reflexive ancestor test: true iff this is an ancestor of `other`
-  /// (this's path is a prefix of other's path).
-  bool IsAncestorOf(const TransactionId& other) const;
+  /// (this's path is a prefix of other's path). Word-wise prefix compare;
+  /// never allocates.
+  bool IsAncestorOf(const TransactionId& other) const {
+    return size_ <= other.size_ &&
+           std::memcmp(data(), other.data(), size_t{size_} * 4) == 0;
+  }
 
   /// Reflexive descendant test.
   bool IsDescendantOf(const TransactionId& other) const {
@@ -49,7 +83,7 @@ class TransactionId {
 
   /// Strict (non-reflexive) ancestor test.
   bool IsProperAncestorOf(const TransactionId& other) const {
-    return path_.size() < other.path_.size() && IsAncestorOf(other);
+    return size_ < other.size_ && IsAncestorOf(other);
   }
 
   /// Least common ancestor of this and `other`.
@@ -62,13 +96,26 @@ class TransactionId {
   /// Requires `ancestor` to be a proper ancestor of this.
   TransactionId ChildOfAncestorToward(const TransactionId& ancestor) const;
 
-  const std::vector<uint32_t>& path() const { return path_; }
+  /// Path elements, root-first. Valid while this id is alive.
+  const uint32_t* data() const {
+    return size_ <= kInlineDepth ? rep_.inline_ : rep_.heap_;
+  }
+  uint32_t operator[](size_t i) const { return data()[i]; }
+  /// Last path element (this transaction's index under its parent).
+  /// Requires !IsRoot().
+  uint32_t back() const { return data()[size_ - 1]; }
+
+  /// The path as a freshly allocated vector (compatibility / IO).
+  std::vector<uint32_t> PathVector() const {
+    return std::vector<uint32_t>(data(), data() + size_);
+  }
 
   /// "T0", "T0.2", "T0.2.0", ...
   std::string ToString() const;
 
   bool operator==(const TransactionId& other) const {
-    return path_ == other.path_;
+    return size_ == other.size_ && hash_ == other.hash_ &&
+           std::memcmp(data(), other.data(), size_t{size_} * 4) == 0;
   }
   bool operator!=(const TransactionId& other) const {
     return !(*this == other);
@@ -76,13 +123,69 @@ class TransactionId {
   /// Lexicographic order on paths (stable container key; also gives
   /// pre-order among comparable tree positions).
   bool operator<(const TransactionId& other) const {
-    return path_ < other.path_;
+    const uint32_t* a = data();
+    const uint32_t* b = other.data();
+    const uint32_t n = size_ < other.size_ ? size_ : other.size_;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (a[i] != b[i]) return a[i] < b[i];
+    }
+    return size_ < other.size_;
   }
 
-  size_t Hash() const;
+  /// Cached FNV-1a hash of the path (computed at construction).
+  size_t Hash() const { return hash_; }
 
  private:
-  std::vector<uint32_t> path_;
+  static constexpr size_t kFnvOffset = 1469598103934665603ULL;
+  static constexpr size_t kFnvPrime = 1099511628211ULL;
+
+  // Copies `n` elements and computes the hash.
+  TransactionId(const uint32_t* path, uint32_t n);
+  // Copies `n` elements and extends `prefix_hash` with `extra`
+  // (the Child() fast path: O(1) hashing off the parent's cached hash).
+  TransactionId(const uint32_t* path, uint32_t n, size_t prefix_hash,
+                uint32_t extra);
+
+  uint32_t* MutableAlloc(uint32_t n) {
+    size_ = n;
+    if (n <= kInlineDepth) return rep_.inline_;
+    rep_.heap_ = new uint32_t[n];
+    return rep_.heap_;
+  }
+  void FreeHeap() {
+    if (size_ > kInlineDepth) delete[] rep_.heap_;
+  }
+  void CopyFrom(const TransactionId& other) {
+    hash_ = other.hash_;
+    std::memcpy(MutableAlloc(other.size_), other.data(),
+                size_t{other.size_} * 4);
+  }
+  void StealFrom(TransactionId& other) noexcept {
+    size_ = other.size_;
+    hash_ = other.hash_;
+    if (size_ <= kInlineDepth) {
+      std::memcpy(rep_.inline_, other.rep_.inline_, size_t{size_} * 4);
+    } else {
+      rep_.heap_ = other.rep_.heap_;
+      other.size_ = 0;  // other becomes T0; heap ownership transferred
+      other.hash_ = kFnvOffset;
+    }
+  }
+  static size_t HashRange(const uint32_t* p, uint32_t n, size_t seed) {
+    size_t h = seed;
+    for (uint32_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= kFnvPrime;
+    }
+    return h;
+  }
+
+  uint32_t size_ = 0;
+  size_t hash_ = kFnvOffset;
+  union Rep {
+    uint32_t inline_[kInlineDepth];
+    uint32_t* heap_;
+  } rep_;
 };
 
 std::ostream& operator<<(std::ostream& os, const TransactionId& id);

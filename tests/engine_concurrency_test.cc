@@ -242,7 +242,7 @@ TEST(EngineConcurrencyTest, ReadersDoNotBlockReadersUnderLoad) {
   for (auto& t : threads) t.join();
   EXPECT_EQ(ok.load(), kThreads * 300);
   // Read-read never conflicts: no waits at all.
-  EXPECT_EQ(db.stats().lock_waits.load(), 0u);
+  EXPECT_EQ(db.stats().Snapshot().lock_waits, 0u);
 }
 
 TEST(EngineConcurrencyTest, StatsAreCoherent) {
@@ -252,10 +252,10 @@ TEST(EngineConcurrencyTest, StatsAreCoherent) {
                 }).ok());
   auto t = db.Begin();
   (void)t->Abort();
-  EXPECT_EQ(db.stats().top_level_committed.load(), 1u);
-  EXPECT_EQ(db.stats().top_level_aborted.load(), 1u);
-  EXPECT_GE(db.stats().txns_begun.load(), 2u);
-  EXPECT_GE(db.stats().writes.load(), 1u);
+  EXPECT_EQ(db.stats().Snapshot().top_level_committed, 1u);
+  EXPECT_EQ(db.stats().Snapshot().top_level_aborted, 1u);
+  EXPECT_GE(db.stats().Snapshot().txns_begun, 2u);
+  EXPECT_GE(db.stats().Snapshot().writes, 1u);
 }
 
 }  // namespace

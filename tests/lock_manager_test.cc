@@ -66,7 +66,7 @@ TEST_F(LockManagerTest, WriteBlockedByForeignReadTimesOut) {
   auto r = lm_.AcquireWrite(T({1}), "k", Set(1));
   EXPECT_FALSE(r.ok());
   EXPECT_TRUE(r.status().IsTimedOut()) << r.status().ToString();
-  EXPECT_GE(stats_.lock_timeouts.load(), 1u);
+  EXPECT_GE(stats_.Snapshot().lock_timeouts, 1u);
 }
 
 TEST_F(LockManagerTest, ReadBlockedByForeignWriteTimesOut) {
@@ -115,7 +115,7 @@ TEST_F(LockManagerTest, AbortRestoresPriorState) {
   auto r = lm_.AcquireRead(T({1}), "k");
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(**r, 10);
-  EXPECT_GE(stats_.versions_discarded.load(), 1u);
+  EXPECT_GE(stats_.Snapshot().versions_discarded, 1u);
 }
 
 TEST_F(LockManagerTest, AbortedDeleteRestoresValue) {
@@ -169,7 +169,7 @@ TEST_F(LockManagerTest, BlockedWriterWakesWhenReaderCommits) {
   lm_.OnCommit(T({0}), TransactionId::Root(), {"k"});
   writer.join();
   // Writer got through before its 100ms timeout.
-  EXPECT_EQ(stats_.lock_timeouts.load(), 0u);
+  EXPECT_EQ(stats_.Snapshot().lock_timeouts, 0u);
 }
 
 TEST_F(LockManagerTest, DeadlockDetectedAcrossTwoKeys) {
@@ -186,9 +186,9 @@ TEST_F(LockManagerTest, DeadlockDetectedAcrossTwoKeys) {
   // T0.1 waits for a (held by T0.0): closes the cycle -> Deadlock.
   auto r = lm_.AcquireWrite(T({1}), "a", Set(2));
   EXPECT_TRUE(r.status().IsDeadlock()) << r.status().ToString();
-  EXPECT_GE(stats_.deadlocks.load(), 1u);
+  EXPECT_GE(stats_.Snapshot().deadlocks, 1u);
   // Resolve: abort T0.1 so the blocked thread can finish.
-  lm_.OnAbort(T({1}), {"a", "b"});
+  lm_.OnAbort(T({1}), std::vector<std::string>{"a", "b"});
   th.join();
 }
 

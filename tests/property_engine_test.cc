@@ -124,7 +124,7 @@ TEST_P(DeadlockPolicyTest, OrderInversionResolvesAndConserves) {
   EXPECT_EQ(db.ReadCommitted("a").value(), 50);
   EXPECT_EQ(db.ReadCommitted("b").value(), 50);
   if (GetParam() == DeadlockPolicy::kTimeoutOnly) {
-    EXPECT_EQ(db.stats().deadlocks.load(), 0u);
+    EXPECT_EQ(db.stats().Snapshot().deadlocks, 0u);
   }
 }
 

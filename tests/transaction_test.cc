@@ -177,7 +177,7 @@ TEST(TransactionTest, RaiiDestructorAborts) {
     // dropped without commit
   }
   EXPECT_FALSE(db.ReadCommitted("k").has_value());
-  EXPECT_EQ(db.stats().top_level_aborted.load(), 1u);
+  EXPECT_EQ(db.stats().Snapshot().top_level_aborted, 1u);
 }
 
 TEST(TransactionTest, IdsAreHierarchical) {

@@ -1,0 +1,109 @@
+#include "core/failpoints.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace nestedtx {
+
+namespace {
+
+// Per-site mutable state. Configs are read under the mutex on the armed
+// slow path only; the unarmed fast path never touches them.
+struct SiteState {
+  FailPoints::Config config;
+  std::atomic<uint64_t> hits{0};
+};
+
+std::mutex g_config_mutex;
+SiteState g_sites[FailPoints::kNumSites];
+std::atomic<uint64_t> g_seed{0x5eedf01d5eedf01dULL};
+std::atomic<uint64_t> g_injections{0};
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::atomic<uint32_t> FailPoints::armed_mask_{0};
+
+void FailPoints::Enable(Site site, const Config& config) {
+  std::lock_guard<std::mutex> lock(g_config_mutex);
+  g_sites[site].config = config;
+  g_sites[site].hits.store(0, std::memory_order_relaxed);
+  armed_mask_.fetch_or(1u << site, std::memory_order_relaxed);
+}
+
+void FailPoints::DisableAll() {
+  std::lock_guard<std::mutex> lock(g_config_mutex);
+  armed_mask_.store(0, std::memory_order_relaxed);
+  for (SiteState& s : g_sites) {
+    s.config = Config{};
+    s.hits.store(0, std::memory_order_relaxed);
+  }
+  g_injections.store(0, std::memory_order_relaxed);
+}
+
+void FailPoints::Seed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(g_config_mutex);
+  g_seed.store(seed, std::memory_order_relaxed);
+  for (SiteState& s : g_sites) s.hits.store(0, std::memory_order_relaxed);
+  g_injections.store(0, std::memory_order_relaxed);
+}
+
+uint64_t FailPoints::InjectionCount() {
+  return g_injections.load(std::memory_order_relaxed);
+}
+
+bool FailPoints::Decide(Site site, uint32_t one_in, uint64_t action_salt) {
+  if (one_in == 0) return false;
+  const uint64_t n =
+      g_sites[site].hits.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t h = SplitMix64(g_seed.load(std::memory_order_relaxed) ^
+                                (static_cast<uint64_t>(site) << 56) ^
+                                (action_salt << 48) ^ n);
+  if (h % one_in != 0) return false;
+  g_injections.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void FailPoints::DelaySlow(Site site) {
+  Config cfg;
+  {
+    std::lock_guard<std::mutex> lock(g_config_mutex);
+    cfg = g_sites[site].config;
+  }
+  if (Decide(site, cfg.delay_one_in, /*action_salt=*/1)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(cfg.delay_us));
+  }
+}
+
+bool FailPoints::SpuriousSlow(Site site) {
+  Config cfg;
+  {
+    std::lock_guard<std::mutex> lock(g_config_mutex);
+    cfg = g_sites[site].config;
+  }
+  return Decide(site, cfg.spurious_wakeup_one_in, /*action_salt=*/2);
+}
+
+Status FailPoints::FailSlow(Site site) {
+  Config cfg;
+  {
+    std::lock_guard<std::mutex> lock(g_config_mutex);
+    cfg = g_sites[site].config;
+  }
+  if (Decide(site, cfg.deadlock_one_in, /*action_salt=*/3)) {
+    return Status::Deadlock("failpoint-injected deadlock");
+  }
+  if (Decide(site, cfg.timeout_one_in, /*action_salt=*/4)) {
+    return Status::TimedOut("failpoint-injected timeout");
+  }
+  return Status::OK();
+}
+
+}  // namespace nestedtx

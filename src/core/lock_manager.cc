@@ -3,8 +3,10 @@
 #include <functional>
 #include <set>
 
+#include "core/failpoints.h"
 #include "core/id_small_set.h"
 #include "serial/data_type.h"
+#include "util/cleanup.h"
 #include "util/strings.h"
 
 namespace nestedtx {
@@ -27,7 +29,36 @@ struct LockManager::KeyState {
 };
 
 LockManager::LockManager(const EngineOptions& options, EngineStats* stats)
-    : options_(options), stats_(stats), shards_(options.lock_table_shards) {}
+    : options_(options),
+      stats_(stats),
+      track_lock_counts_(
+          options.deadlock_policy == DeadlockPolicy::kWaitForGraph &&
+          options.victim_policy == VictimPolicy::kFewestLocksHeld),
+      shards_(options.lock_table_shards) {
+  wait_graph_.SetVictimPolicy(options.victim_policy);
+}
+
+void LockManager::NoteLockAcquired(const TransactionId& txn) {
+  if (!track_lock_counts_) return;
+  std::lock_guard<std::mutex> lock(lock_counts_mu_);
+  ++lock_counts_[txn];
+}
+
+void LockManager::NoteLockReleased(const TransactionId& txn) {
+  if (!track_lock_counts_) return;
+  std::lock_guard<std::mutex> lock(lock_counts_mu_);
+  auto it = lock_counts_.find(txn);
+  if (it != lock_counts_.end() && --it->second == 0) {
+    lock_counts_.erase(it);
+  }
+}
+
+uint64_t LockManager::LocksHeldBy(const TransactionId& txn) const {
+  if (!track_lock_counts_) return 0;
+  std::lock_guard<std::mutex> lock(lock_counts_mu_);
+  auto it = lock_counts_.find(txn);
+  return it == lock_counts_.end() ? 0 : it->second;
+}
 
 LockManager::~LockManager() = default;
 
@@ -59,10 +90,22 @@ std::vector<TransactionId> LockManager::Conflicts(const KeyState& ks,
   }
   if (exclusive) {
     for (const TransactionId& r : ks.read_holders) {
-      if (!r.IsAncestorOf(txn)) out.push_back(r);
+      // A transaction holding both lock modes is one conflicter, not two
+      // — duplicates would inflate every wait-graph edge set it appears
+      // in and the AddWait cycle checks over them.
+      if (!r.IsAncestorOf(txn) && !ks.write_holders.Contains(r)) {
+        out.push_back(r);
+      }
     }
   }
   return out;
+}
+
+std::vector<TransactionId> LockManager::ConflictsForTest(
+    const std::string& key, const TransactionId& txn, bool exclusive) {
+  KeyState& ks = GetKeyState(key);
+  std::lock_guard<std::mutex> lock(ks.m);
+  return Conflicts(ks, txn, exclusive);
 }
 
 Status LockManager::WaitForGrant(KeyState& ks,
@@ -70,35 +113,81 @@ Status LockManager::WaitForGrant(KeyState& ks,
                                  const TransactionId& txn, bool exclusive) {
   const auto deadline =
       std::chrono::steady_clock::now() + options_.lock_timeout;
+  const bool use_graph =
+      options_.deadlock_policy == DeadlockPolicy::kWaitForGraph;
   bool waited = false;
+  bool registered = false;
+  // Every exit — grant, deadlock, timeout, injected fault — must clear
+  // the wait-graph entry. A return that skips RemoveWait leaves a stale
+  // edge behind, and stale edges make unrelated transactions see phantom
+  // cycles (and spuriously deadlock) forever after.
+  auto unregister = MakeCleanup([&] {
+    if (registered) wait_graph_.RemoveWait(txn);
+  });
+  std::vector<WaitGraph::Wakeup> wakeups;
   for (;;) {
-    std::vector<TransactionId> conflicts = Conflicts(ks, txn, exclusive);
-    if (conflicts.empty()) {
-      if (waited) wait_graph_.RemoveWait(txn);
-      return Status::OK();
+    // Another transaction's cycle check may have picked us as the victim
+    // while we slept; its notification is delivered under ks.m, so the
+    // mark cannot race past this check into our next wait.
+    if (registered && wait_graph_.TakeVictim(txn)) {
+      registered = false;  // TakeVictim consumed the entry
+      stats_->Add2(kStatDeadlocks, kStatDeadlockVictimOther);
+      return Status::Deadlock(
+          StrCat(txn, " chosen as deadlock victim while waiting"));
     }
-    if (options_.deadlock_policy == DeadlockPolicy::kWaitForGraph) {
-      Status reg = wait_graph_.AddWait(txn, conflicts);
+    std::vector<TransactionId> conflicts = Conflicts(ks, txn, exclusive);
+    if (conflicts.empty()) return Status::OK();
+    if (use_graph) {
+      WaitGraph::WaiterInfo info;
+      info.mutex = &ks.m;
+      info.cv = &ks.cv;
+      info.locks_held = LocksHeldBy(txn);
+      wakeups.clear();
+      Status reg = wait_graph_.AddWait(txn, conflicts, info, &wakeups);
       if (!reg.ok()) {
-        stats_->Add(kStatDeadlocks);
-        return reg;  // Deadlock; requester is the victim
+        registered = false;  // the rejected registration erased the entry
+        stats_->Add2(kStatDeadlocks, kStatDeadlockVictimSelf);
+        return reg;  // Deadlock; this requester is the victim
+      }
+      registered = true;
+      if (!wakeups.empty()) {
+        // Our registration victimized other waiters. Deliver each wakeup
+        // under the victim's key mutex (closing the lost-wakeup window
+        // between its victim-flag check and its wait) — but never while
+        // holding two key mutexes, so drop ours first and re-evaluate
+        // the conflict set afterwards.
+        lk.unlock();
+        for (const WaitGraph::Wakeup& w : wakeups) {
+          std::lock_guard<std::mutex> victim_lock(*w.mutex);
+          w.cv->notify_all();
+        }
+        lk.lock();
+        continue;
       }
     }
     if (!waited) {
       waited = true;
       stats_->Add(kStatLockWaits);
     }
-    if (ks.cv.wait_until(lk, deadline) == std::cv_status::timeout) {
+    // A failpoint may truncate this wait: the waiter comes back early and
+    // re-evaluates, exactly the spurious-wakeup schedule a condition
+    // variable is allowed (but rarely chooses) to produce.
+    auto this_deadline = deadline;
+    if (FailPoints::MaybeSpuriousWakeup(FailPoints::kWaitWakeup)) {
+      this_deadline = std::min(
+          deadline, std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(50));
+    }
+    if (ks.cv.wait_until(lk, this_deadline) == std::cv_status::timeout &&
+        std::chrono::steady_clock::now() >= deadline) {
       // One final re-check under the lock before declaring timeout.
-      if (Conflicts(ks, txn, exclusive).empty()) {
-        wait_graph_.RemoveWait(txn);
-        return Status::OK();
-      }
-      wait_graph_.RemoveWait(txn);
+      if (Conflicts(ks, txn, exclusive).empty()) return Status::OK();
       stats_->Add(kStatLockTimeouts);
       return Status::TimedOut(
           StrCat(txn, " timed out waiting for lock on key"));
     }
+    FailPoints::MaybeDelay(FailPoints::kWaitWakeup);
+    RETURN_IF_ERROR(FailPoints::MaybeFail(FailPoints::kWaitWakeup));
   }
 }
 
@@ -113,7 +202,12 @@ Result<std::optional<int64_t>> LockManager::AcquireReadOn(
     HeldLock* held) {
   std::unique_lock<std::mutex> lk(ks.m);
   RETURN_IF_ERROR(WaitForGrant(ks, lk, txn, /*exclusive=*/false));
-  if (ks.read_holders.Insert(txn)) ++ks.holder_epoch;
+  RETURN_IF_ERROR(FailPoints::MaybeFail(FailPoints::kLockGrant));
+  FailPoints::MaybeDelay(FailPoints::kLockGrant);
+  if (ks.read_holders.Insert(txn)) {
+    ++ks.holder_epoch;
+    NoteLockAcquired(txn);
+  }
   stats_->Add2(kStatLockGrants, kStatReads);
   const std::optional<int64_t> value = CurrentValue(ks);
   if (held != nullptr) {
@@ -139,9 +233,14 @@ Result<std::optional<int64_t>> LockManager::AcquireWriteOn(
     const AccessTraceInfo* trace, HeldLock* held) {
   std::unique_lock<std::mutex> lk(ks.m);
   RETURN_IF_ERROR(WaitForGrant(ks, lk, txn, /*exclusive=*/true));
+  RETURN_IF_ERROR(FailPoints::MaybeFail(FailPoints::kLockGrant));
+  FailPoints::MaybeDelay(FailPoints::kLockGrant);
   const std::optional<int64_t> current = CurrentValue(ks);
   const std::optional<int64_t> next = mutator(current);
-  if (ks.write_holders.Insert(txn)) ++ks.holder_epoch;
+  if (ks.write_holders.Insert(txn)) {
+    ++ks.holder_epoch;
+    NoteLockAcquired(txn);
+  }
   ks.versions.Put(txn, next);
   stats_->Add2(kStatLockGrants, kStatWrites);
   if (held != nullptr) {
@@ -166,7 +265,10 @@ bool LockManager::TryReacquireRead(HeldLock& held, const TransactionId& txn,
   if (!held.read) {
     // Re-read under a write-only hold still registers the read lock,
     // exactly as the full path would.
-    if (ks.read_holders.Insert(txn)) ++ks.holder_epoch;
+    if (ks.read_holders.Insert(txn)) {
+      ++ks.holder_epoch;
+      NoteLockAcquired(txn);
+    }
     held.read = true;
   }
   held.epoch = ks.holder_epoch;
@@ -218,21 +320,30 @@ Result<std::optional<int64_t>> LockManager::ReacquireWrite(
 void LockManager::CommitKey(KeyState& ks, const TransactionId& txn,
                             const TransactionId& parent) {
   std::lock_guard<std::mutex> lock(ks.m);
+  // Stretch the inherit window while holders pile up on ks.cv — the
+  // commit-side race surface the storm tests lean on.
+  FailPoints::MaybeDelay(FailPoints::kCommitInherit);
   bool changed = false;
   if (ks.write_holders.Erase(txn)) {
+    NoteLockReleased(txn);
     std::optional<int64_t> version = ks.versions.Take(txn);
     if (parent.IsRoot()) {
       ks.base = version;  // top-level commit: install as base
     } else {
-      if (ks.write_holders.Insert(parent)) ++ks.holder_epoch;
+      if (ks.write_holders.Insert(parent)) {
+        ++ks.holder_epoch;
+        NoteLockAcquired(parent);
+      }
       ks.versions.Put(parent, version);
     }
     stats_->Add(kStatLocksInherited);
     changed = true;
   }
   if (ks.read_holders.Erase(txn)) {
+    NoteLockReleased(txn);
     if (!parent.IsRoot() && ks.read_holders.Insert(parent)) {
       ++ks.holder_epoch;
+      NoteLockAcquired(parent);
     }
     stats_->Add(kStatLocksInherited);
     changed = true;
@@ -248,6 +359,8 @@ void LockManager::CommitKey(KeyState& ks, const TransactionId& txn,
 
 void LockManager::AbortKey(KeyState& ks, const TransactionId& txn) {
   std::lock_guard<std::mutex> lock(ks.m);
+  // Stretch the purge window (see CommitKey).
+  FailPoints::MaybeDelay(FailPoints::kAbortPurge);
   bool changed = false;
   // Discard entries of txn and (defensively) any stray descendants.
   changed |= ks.write_holders.EraseIf(
@@ -256,13 +369,14 @@ void LockManager::AbortKey(KeyState& ks, const TransactionId& txn) {
                  },
                  [&](const TransactionId& w) {
                    ks.versions.Erase(w);
+                   NoteLockReleased(w);
                    stats_->Add(kStatVersionsDiscarded);
                  }) > 0;
   changed |= ks.read_holders.EraseIf(
                  [&](const TransactionId& r) {
                    return txn.IsAncestorOf(r);
                  },
-                 [](const TransactionId&) {}) > 0;
+                 [&](const TransactionId& r) { NoteLockReleased(r); }) > 0;
   if (recorder_ != nullptr) {
     // Informed even when no lock was held (the model's generic
     // scheduler may inform any object of any abort).

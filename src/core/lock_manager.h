@@ -133,6 +133,16 @@ class LockManager {
 
   WaitGraph& wait_graph() { return wait_graph_; }
 
+  /// Test hook: the conflict set Conflicts() would hand the wait graph
+  /// for this request (exposes the holder-dedupe contract).
+  std::vector<TransactionId> ConflictsForTest(const std::string& key,
+                                              const TransactionId& txn,
+                                              bool exclusive);
+
+  /// Locks currently held by `txn` (0 unless the victim policy is
+  /// kFewestLocksHeld, the only mode that pays for the tracking).
+  uint64_t LocksHeldBy(const TransactionId& txn) const;
+
   /// Attach a trace recorder (before any transaction runs). The recorder
   /// must outlive the lock manager.
   void SetTraceRecorder(EngineTraceRecorder* recorder) {
@@ -182,10 +192,20 @@ class LockManager {
   Status WaitForGrant(KeyState& ks, std::unique_lock<std::mutex>& lk,
                       const TransactionId& txn, bool exclusive);
 
+  // Per-transaction lock-count bookkeeping for kFewestLocksHeld victim
+  // selection; no-ops (a single branch) under every other policy.
+  void NoteLockAcquired(const TransactionId& txn);
+  void NoteLockReleased(const TransactionId& txn);
+
   EngineOptions options_;
   EngineStats* stats_;
   WaitGraph wait_graph_;
   EngineTraceRecorder* recorder_ = nullptr;
+
+  const bool track_lock_counts_;
+  mutable std::mutex lock_counts_mu_;
+  std::unordered_map<TransactionId, uint64_t, TransactionIdHash>
+      lock_counts_;
 
   struct Shard {
     std::mutex m;

@@ -32,18 +32,42 @@ const char* CcModeName(CcMode mode);
 
 /// How lock waits are resolved.
 enum class DeadlockPolicy {
-  /// Maintain a wait-for graph; a requester whose wait would close a
-  /// cycle receives Status::Deadlock immediately (victim = requester,
-  /// which in a nested world means only that subtree retries).
+  /// Maintain a wait-for graph; when a wait registration would close a
+  /// cycle, the configured VictimPolicy picks a transaction on the cycle
+  /// to receive Status::Deadlock (in a nested world only that subtree
+  /// retries).
   kWaitForGraph,
   /// No graph; waits time out after `lock_timeout` (deadlocks surface as
   /// Status::TimedOut).
   kTimeoutOnly,
 };
 
+/// Who dies when the wait-for graph finds a cycle (kWaitForGraph only).
+/// The paper leaves abort decisions to the scheduler; this knob is that
+/// scheduler freedom made concrete. Every choice preserves liveness —
+/// some waiter on the cycle always aborts — they differ in how much work
+/// is redone.
+enum class VictimPolicy {
+  /// The registering waiter dies (the classical choice: no cross-thread
+  /// signalling, the detecting thread pays for its own collision).
+  kRequester,
+  /// The deepest (then latest-begun) waiter on the cycle dies: the
+  /// youngest subtree carries the least completed work, so aborting it
+  /// redoes the least. Ties go to the requester.
+  kYoungestSubtree,
+  /// The cycle waiter holding the fewest locks dies (lock count proxies
+  /// for work done and for the blast radius of the retry). Ties go to
+  /// the requester. Requires the lock manager to track per-transaction
+  /// lock counts (only maintained under this policy).
+  kFewestLocksHeld,
+};
+
+const char* VictimPolicyName(VictimPolicy policy);
+
 struct EngineOptions {
   CcMode cc_mode = CcMode::kMossRW;
   DeadlockPolicy deadlock_policy = DeadlockPolicy::kWaitForGraph;
+  VictimPolicy victim_policy = VictimPolicy::kRequester;
   /// Upper bound on any single lock wait (also the kTimeoutOnly horizon).
   std::chrono::milliseconds lock_timeout{2000};
   /// Number of lock-table shards (power of two).

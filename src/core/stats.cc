@@ -29,6 +29,8 @@ StatsSnapshot EngineStats::Snapshot() const {
   out.lock_grants = sums[kStatLockGrants];
   out.lock_waits = sums[kStatLockWaits];
   out.deadlocks = sums[kStatDeadlocks];
+  out.deadlock_victims_self = sums[kStatDeadlockVictimSelf];
+  out.deadlock_victims_other = sums[kStatDeadlockVictimOther];
   out.lock_timeouts = sums[kStatLockTimeouts];
   out.locks_inherited = sums[kStatLocksInherited];
   out.versions_discarded = sums[kStatVersionsDiscarded];
@@ -50,7 +52,9 @@ std::string StatsSnapshot::ToString() const {
       << " top_aborted=" << top_level_aborted << "}"
       << " ops{reads=" << reads << " writes=" << writes << "}"
       << " locks{grants=" << lock_grants << " waits=" << lock_waits
-      << " deadlocks=" << deadlocks << " timeouts=" << lock_timeouts
+      << " deadlocks=" << deadlocks << " (self=" << deadlock_victims_self
+      << " other=" << deadlock_victims_other << ")"
+      << " timeouts=" << lock_timeouts
       << " inherited=" << locks_inherited
       << " versions_discarded=" << versions_discarded << "}";
   return oss.str();

@@ -23,13 +23,20 @@ enum StatCounter : int {
   kStatLockGrants,
   kStatLockWaits,
   kStatDeadlocks,
+  kStatDeadlockVictimSelf,   // requester died at its own registration
+  kStatDeadlockVictimOther,  // waiter victimized by another's cycle check
   kStatLockTimeouts,
   kStatLocksInherited,
   kStatVersionsDiscarded,
   kStatNumCounters,
 };
 
-/// A coherent point-in-time aggregate of every counter (plain values).
+/// An aggregate of every counter (plain values). NOT a coherent
+/// point-in-time cut: stripes are summed with relaxed loads while
+/// writers keep incrementing, so counters read at slightly different
+/// instants and cross-counter invariants (e.g. begun == committed +
+/// aborted) may be transiently off by in-flight operations. Exact only
+/// in quiescence; treat live reads as monitoring-grade.
 struct StatsSnapshot {
   uint64_t txns_begun = 0;
   uint64_t txns_committed = 0;
@@ -41,6 +48,8 @@ struct StatsSnapshot {
   uint64_t lock_grants = 0;
   uint64_t lock_waits = 0;
   uint64_t deadlocks = 0;
+  uint64_t deadlock_victims_self = 0;
+  uint64_t deadlock_victims_other = 0;
   uint64_t lock_timeouts = 0;
   uint64_t locks_inherited = 0;
   uint64_t versions_discarded = 0;

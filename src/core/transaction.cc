@@ -42,6 +42,18 @@ const char* CcModeName(CcMode mode) {
   return "?";
 }
 
+const char* VictimPolicyName(VictimPolicy policy) {
+  switch (policy) {
+    case VictimPolicy::kRequester:
+      return "requester";
+    case VictimPolicy::kYoungestSubtree:
+      return "youngest-subtree";
+    case VictimPolicy::kFewestLocksHeld:
+      return "fewest-locks";
+  }
+  return "?";
+}
+
 Transaction::Transaction(TransactionManager* manager, Transaction* parent,
                          TransactionId id)
     : manager_(manager), parent_(parent), id_(std::move(id)) {
@@ -322,6 +334,11 @@ Status Transaction::Commit() {
   }
 
   const CcMode mode = manager_->options().cc_mode;
+  // No wait-graph sweep here: a committing transaction has returned from
+  // every access, and each WaitForGrant exit clears its entry via a
+  // scoped guard — taking the global graph mutex on the commit hot path
+  // would buy nothing. Abort keeps a defensive sweep (it is the teardown
+  // path for errors in flight).
   EngineTraceRecorder* rec = manager_->locks().trace_recorder();
   Value my_aggregate = 0;
   if (rec != nullptr) {
@@ -380,6 +397,16 @@ Status Transaction::Abort() {
   }
 
   const CcMode mode = manager_->options().cc_mode;
+  // Wait-graph hygiene on teardown. Every WaitForGrant exit already
+  // clears its own entry via a scoped guard (grant, deadlock, timeout,
+  // injected fault all audited), so this is a defensive sweep for a
+  // handle torn down with an operation's result still in flight. Skipped
+  // for flat-mode subtransactions, whose waits run under the shared
+  // top-level id that siblings may still be using.
+  if (manager_->options().deadlock_policy == DeadlockPolicy::kWaitForGraph &&
+      (parent_ == nullptr || mode != CcMode::kFlat2PL)) {
+    manager_->locks().wait_graph().RemoveWait(id_);
+  }
   EngineTraceRecorder* rec = manager_->locks().trace_recorder();
   if (rec != nullptr) rec->Emit(Event::Abort(id_));
   std::vector<LockManager::KeyHold> keys;

@@ -1,0 +1,41 @@
+// Scope guard: run a callable on scope exit unless cancelled. Used where
+// a side registration (e.g. a wait-graph entry) must be undone on every
+// exit path — grant, error return, or exception — without repeating the
+// teardown at each return site.
+#ifndef NESTEDTX_UTIL_CLEANUP_H_
+#define NESTEDTX_UTIL_CLEANUP_H_
+
+#include <utility>
+
+namespace nestedtx {
+
+template <typename F>
+class Cleanup {
+ public:
+  explicit Cleanup(F f) : f_(std::move(f)) {}
+  ~Cleanup() {
+    if (armed_) f_();
+  }
+  Cleanup(const Cleanup&) = delete;
+  Cleanup& operator=(const Cleanup&) = delete;
+  Cleanup(Cleanup&& other) noexcept
+      : f_(std::move(other.f_)), armed_(other.armed_) {
+    other.armed_ = false;
+  }
+
+  /// Drop the pending call (the normal path handled teardown itself).
+  void Cancel() { armed_ = false; }
+
+ private:
+  F f_;
+  bool armed_ = true;
+};
+
+template <typename F>
+Cleanup<F> MakeCleanup(F f) {
+  return Cleanup<F>(std::move(f));
+}
+
+}  // namespace nestedtx
+
+#endif  // NESTEDTX_UTIL_CLEANUP_H_

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <functional>
 #include <thread>
 
 #include "core/lock_manager.h"
@@ -9,6 +11,15 @@ namespace {
 
 TransactionId T(std::initializer_list<uint32_t> path) {
   return TransactionId(std::vector<uint32_t>(path));
+}
+
+// Polls `pred` for up to ~4s; true as soon as it holds.
+bool WaitUntil(const std::function<bool()>& pred) {
+  for (int i = 0; i < 4000; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
 }
 
 class LockManagerTest : public ::testing::Test {
@@ -190,6 +201,138 @@ TEST_F(LockManagerTest, DeadlockDetectedAcrossTwoKeys) {
   // Resolve: abort T0.1 so the blocked thread can finish.
   lm_.OnAbort(T({1}), std::vector<std::string>{"a", "b"});
   th.join();
+}
+
+TEST_F(LockManagerTest, ConflictsReportDualModeHolderOnce) {
+  // A transaction holding BOTH a read and a write lock on the key must
+  // appear exactly once in another requester's conflict set — the wait
+  // graph would otherwise chew on duplicate edges.
+  ASSERT_TRUE(lm_.AcquireRead(T({0}), "k").ok());
+  ASSERT_TRUE(lm_.AcquireWrite(T({0}), "k", Set(1)).ok());
+  std::vector<TransactionId> c = lm_.ConflictsForTest("k", T({1}), true);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0], T({0}));
+  // Shared request: the write holder likewise conflicts once.
+  c = lm_.ConflictsForTest("k", T({1}), false);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0], T({0}));
+}
+
+// Regression for the stale-edge bug: WaitForGrant registered an edge on
+// one loop iteration, the conflict set changed while it slept, and a
+// deadlock detected on a LATER iteration returned without removing the
+// earlier registration. The orphaned edge then made unrelated waiters
+// (anything related to the stale edge's target) look like cycle members.
+TEST(LockManagerStaleEdgeTest, SecondIterationDeadlockLeavesNoEdges) {
+  EngineOptions o;
+  o.lock_timeout = std::chrono::seconds(5);
+  EngineStats stats;
+  LockManager lm(o, &stats);
+  const LockManager::Mutator set1 = [](std::optional<int64_t>) {
+    return std::optional<int64_t>(1);
+  };
+
+  const TransactionId t1 = T({1});
+  const TransactionId w = T({2});
+  const TransactionId r = T({3});
+  const TransactionId x = T({1, 0});  // child of t1
+
+  ASSERT_TRUE(lm.AcquireRead(t1, "K1").ok());
+  ASSERT_TRUE(lm.AcquireWrite(w, "K2", set1).ok());
+
+  // W blocks on K1 (read-held by T1): first-iteration edge W -> T1.
+  Status w_status;
+  std::thread tw(
+      [&] { w_status = lm.AcquireWrite(w, "K1", set1).status(); });
+  ASSERT_TRUE(WaitUntil([&] { return lm.wait_graph().NumWaiters() == 1; }));
+
+  // R read-locks K1 (compatible; no wakeup for W) then blocks on K2
+  // (write-held by W): edge R -> W. On success R commits, releasing its
+  // locks — R and X race for K2 once W aborts, so each must clean up
+  // after itself.
+  ASSERT_TRUE(lm.AcquireRead(r, "K1").ok());
+  Status r_status;
+  std::thread tr([&] {
+    r_status = lm.AcquireWrite(r, "K2", set1).status();
+    if (r_status.ok()) {
+      lm.OnCommit(r, TransactionId::Root(),
+                  std::vector<std::string>{"K1", "K2"});
+    }
+  });
+  ASSERT_TRUE(WaitUntil([&] { return lm.wait_graph().NumWaiters() == 2; }));
+
+  // T1 commits: W wakes, re-evaluates, and its SECOND-iteration
+  // registration (now against R) closes the cycle W -> R -> W.
+  lm.OnCommit(t1, TransactionId::Root(), std::vector<std::string>{"K1"});
+  tw.join();
+  EXPECT_TRUE(w_status.IsDeadlock()) << w_status.ToString();
+  // The deadlocked wait left nothing behind: only R still waits.
+  EXPECT_EQ(lm.wait_graph().NumWaiters(), 1u);
+  EXPECT_TRUE(lm.wait_graph().WaitingOn(w).empty());
+
+  // An independent later waiter related to the stale edge's target (X is
+  // T1's child) must simply wait, not be phantom-victimized: pre-fix the
+  // orphaned W -> T1 edge made X's registration look like a cycle.
+  Status x_status;
+  std::thread tx([&] {
+    x_status = lm.AcquireWrite(x, "K2", set1).status();
+    if (x_status.ok()) lm.OnAbort(x, std::vector<std::string>{"K2"});
+  });
+  ASSERT_TRUE(WaitUntil([&] { return lm.wait_graph().NumWaiters() == 2; }));
+
+  // Unwind: W aborts; R and X drain in whichever order they win K2.
+  lm.OnAbort(w, std::vector<std::string>{"K1", "K2"});
+  tr.join();
+  tx.join();
+  EXPECT_TRUE(r_status.ok()) << r_status.ToString();
+  EXPECT_TRUE(x_status.ok()) << x_status.ToString();
+  EXPECT_EQ(lm.wait_graph().NumWaiters(), 0u);
+  EXPECT_GE(stats.Snapshot().deadlocks, 1u);
+}
+
+// Cross-thread victimization: under kYoungestSubtree the deeper waiter is
+// chosen, woken by the requester, and reports Deadlock from its own wait;
+// the requester's registration proceeds.
+TEST(LockManagerVictimPolicyTest, YoungestSubtreeVictimizesDeeperWaiter) {
+  EngineOptions o;
+  o.lock_timeout = std::chrono::seconds(5);
+  o.victim_policy = VictimPolicy::kYoungestSubtree;
+  EngineStats stats;
+  LockManager lm(o, &stats);
+  const LockManager::Mutator set1 = [](std::optional<int64_t>) {
+    return std::optional<int64_t>(1);
+  };
+
+  const TransactionId deep = T({0, 0});  // depth 2
+  const TransactionId q = T({1});        // depth 1
+
+  ASSERT_TRUE(lm.AcquireWrite(deep, "a", set1).ok());
+  ASSERT_TRUE(lm.AcquireWrite(q, "b", set1).ok());
+
+  Status deep_status;
+  std::thread td([&] {
+    deep_status = lm.AcquireWrite(deep, "b", set1).status();
+    // The real transaction layer aborts a victim, releasing its locks.
+    if (!deep_status.ok()) {
+      lm.OnAbort(deep, std::vector<std::string>{"a", "b"});
+    }
+  });
+  ASSERT_TRUE(WaitUntil([&] { return lm.wait_graph().NumWaiters() == 1; }));
+
+  // q closes the cycle; the deeper waiter dies in its stead and q is
+  // eventually granted the lock.
+  auto granted = lm.AcquireWrite(q, "a", set1);
+  EXPECT_TRUE(granted.ok()) << granted.status().ToString();
+  td.join();
+  EXPECT_TRUE(deep_status.IsDeadlock()) << deep_status.ToString();
+
+  StatsSnapshot snap = stats.Snapshot();
+  EXPECT_GE(snap.deadlock_victims_other, 1u);
+  EXPECT_EQ(snap.deadlock_victims_self, 0u);
+  EXPECT_EQ(snap.deadlocks,
+            snap.deadlock_victims_self + snap.deadlock_victims_other);
+  EXPECT_EQ(lm.wait_graph().NumWaiters(), 0u);
+  lm.OnAbort(q, std::vector<std::string>{"a", "b"});
 }
 
 }  // namespace

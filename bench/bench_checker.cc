@@ -7,6 +7,9 @@
 // replay, near-linear in events for fixed tree size.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench_json.h"
 #include "checker/serial_correctness.h"
 #include "explore/random_walk.h"
 #include "explore/workload.h"
@@ -89,6 +92,59 @@ void BM_VisibleProjection(benchmark::State& state) {
 }
 BENCHMARK(BM_VisibleProjection);
 
+// --json mode: manual timing loops over the same four costs, written to
+// BENCH_bench_checker.json (google-benchmark is skipped entirely).
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+template <typename Fn>
+double MeasureNsPerOp(int iters, Fn&& fn) {
+  const double t0 = NowSeconds();
+  for (int i = 0; i < iters; ++i) fn();
+  return (NowSeconds() - t0) / iters * 1e9;
+}
+
+int RunJsonMode() {
+  bench::JsonResultFile out("bench_checker");
+  const SystemType st = MakeRandomSystemType(ParamsFor(8), 7);
+  const auto run = RandomLockingRun(st, 42);
+  if (!run.ok()) return 1;
+  out.Add("witness_build_8top")
+      .Int("events", run->size())
+      .Num("ns_per_op", MeasureNsPerOp(bench::Iters(500), [&] {
+        SerialWitnessBuilder builder(&st);
+        for (const Event& e : *run) (void)builder.Feed(e);
+        benchmark::DoNotOptimize(
+            builder.WitnessFor(TransactionId::Root()));
+      }));
+  out.Add("full_check_root_8top")
+      .Int("events", run->size())
+      .Num("ns_per_op", MeasureNsPerOp(bench::Iters(200), [&] {
+        benchmark::DoNotOptimize(
+            CheckSeriallyCorrect(st, *run, TransactionId::Root(), {}));
+      }));
+  out.Add("full_check_all_8top")
+      .Int("events", run->size())
+      .Num("ns_per_op", MeasureNsPerOp(bench::Iters(50), [&] {
+        benchmark::DoNotOptimize(CheckSeriallyCorrectForAll(st, *run, {}));
+      }));
+  out.Add("visible_projection_8top")
+      .Int("events", run->size())
+      .Num("ns_per_op", MeasureNsPerOp(bench::Iters(2000), [&] {
+        benchmark::DoNotOptimize(Visible(*run, TransactionId::Root()));
+      }));
+  return out.Write() ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (nestedtx::bench::HasFlag(argc, argv, "--json")) return RunJsonMode();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,199 @@
+// E11 — commit/abort fan-out latency of the batched release path: a
+// nested committer chain releases K keys through D commit levels while W
+// waiter threads sit parked on the keys' condition variables; the timed
+// region runs from the first release call to the last waiter's grant.
+// Sweeps keys-per-txn x nesting depth x waiter count.
+//
+// What the cells show: keys scales the per-batch work (shard-grouped
+// resolution, one stats/wait-graph round-trip); depth multiplies it by
+// the number of inherit hops a nested commit makes before the top-level
+// release installs the base; waiters measure the deferred-wakeup handoff
+// — notifies are issued only after every key mutex is dropped, so woken
+// readers never pile up on a mutex the committer still holds.
+//
+// Run with --json to write BENCH_bench_commit_fanout.json; the wakeup
+// counters (issued/coalesced) are recorded per cell.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/lock_manager.h"
+#include "core/stats.h"
+#include "util/strings.h"
+
+using namespace nestedtx;
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Cell {
+  int keys = 16;
+  int depth = 1;
+  int waiters = 0;
+};
+
+struct CellResult {
+  double ns_per_release = 0;  // full chain release (+ waiter drain)
+  uint64_t wakeups_issued = 0;
+  uint64_t wakeups_coalesced = 0;
+  int rounds = 0;
+};
+
+// One measured round: the deepest child of a D-level chain holds K write
+// locks; W readers are parked on the keys. Timed: D OnCommit calls up
+// the chain (the last installs the base) until every reader reports its
+// grant. Waiter threads persist across rounds, coordinated by atomics —
+// thread create/join cost never lands in the timed region.
+CellResult RunCell(const Cell& cell) {
+  EngineOptions opts;
+  opts.lock_timeout = std::chrono::seconds(30);
+  EngineStats stats;
+  LockManager lm(opts, &stats);
+
+  std::vector<std::string> keys;
+  for (int k = 0; k < cell.keys; ++k) keys.push_back(StrCat("k", k));
+
+  const int rounds = bench::Iters(cell.waiters > 0 ? 2000 : 20000);
+  std::atomic<int> round{0};       // bumped by the driver to start a round
+  std::atomic<int> granted{0};     // readers granted this round
+  std::atomic<int> parked_intent{0};  // readers that entered AcquireRead
+  std::atomic<int> drained{0};     // readers done releasing this round
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> waiters;
+  for (int w = 0; w < cell.waiters; ++w) {
+    waiters.emplace_back([&, w] {
+      const std::string& key = keys[static_cast<size_t>(w) %
+                                    keys.size()];
+      int seen = 0;
+      while (true) {
+        while (round.load(std::memory_order_acquire) == seen &&
+               !stop.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        if (stop.load(std::memory_order_acquire)) return;
+        seen = round.load(std::memory_order_acquire);
+        const TransactionId reader = TransactionId::Root().Child(
+            1000000u + static_cast<uint32_t>(seen) * 64u +
+            static_cast<uint32_t>(w));
+        parked_intent.fetch_add(1, std::memory_order_acq_rel);
+        (void)lm.AcquireRead(reader, key);  // blocks until the release
+        granted.fetch_add(1, std::memory_order_acq_rel);
+        lm.OnAbort(reader, std::vector<std::string>{key});
+        drained.fetch_add(1, std::memory_order_acq_rel);
+      }
+    });
+  }
+
+  // The committer chain: top-level transaction with depth-1 nested
+  // levels below it; the deepest child takes the locks.
+  double timed = 0;
+  for (int r = 0; r < rounds; ++r) {
+    std::vector<TransactionId> chain;
+    chain.push_back(TransactionId::Root().Child(static_cast<uint32_t>(r)));
+    for (int d = 1; d < cell.depth; ++d) {
+      chain.push_back(chain.back().Child(0));
+    }
+    const TransactionId& deepest = chain.back();
+    std::vector<LockManager::KeyHold> holds;
+    holds.reserve(keys.size());
+    for (const std::string& k : keys) {
+      LockManager::HeldLock held;
+      (void)lm.AcquireWrite(
+          deepest, k, [](std::optional<int64_t>) { return 1; }, nullptr,
+          &held);
+      holds.push_back(LockManager::KeyHold{k, held});
+    }
+    if (cell.waiters > 0) {
+      granted.store(0, std::memory_order_release);
+      parked_intent.store(0, std::memory_order_release);
+      drained.store(0, std::memory_order_release);
+      round.fetch_add(1, std::memory_order_acq_rel);
+      // Readers conflict with the deepest child's write locks; wait
+      // until every one is registered in the wait graph (truly parked,
+      // not merely launched).
+      while (parked_intent.load(std::memory_order_acquire) < cell.waiters ||
+             lm.wait_graph().NumWaiters() <
+                 static_cast<size_t>(cell.waiters)) {
+        std::this_thread::yield();
+      }
+    }
+    const double t0 = NowSeconds();
+    // Commit up the chain: each level inherits the inventory; the cached
+    // handles ride along (their KeyState pointers stay valid).
+    for (size_t level = chain.size(); level > 1; --level) {
+      lm.OnCommit(chain[level - 1], chain[level - 2], holds);
+    }
+    lm.OnCommit(chain.front(), TransactionId::Root(), holds);
+    if (cell.waiters > 0) {
+      while (granted.load(std::memory_order_acquire) < cell.waiters) {
+        std::this_thread::yield();
+      }
+    }
+    timed += NowSeconds() - t0;
+    if (cell.waiters > 0) {
+      // Let the readers finish their own releases before re-acquiring.
+      while (drained.load(std::memory_order_acquire) < cell.waiters) {
+        std::this_thread::yield();
+      }
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : waiters) t.join();
+
+  const StatsSnapshot snap = stats.Snapshot();
+  CellResult out;
+  out.ns_per_release = timed / rounds * 1e9;
+  out.wakeups_issued = snap.wakeups_issued;
+  out.wakeups_coalesced = snap.wakeups_coalesced;
+  out.rounds = rounds;
+  return out;
+}
+
+int Run(bool json) {
+  bench::JsonResultFile out("bench_commit_fanout");
+  std::printf("%6s %6s %8s | %14s %10s %10s\n", "keys", "depth", "waiters",
+              "ns_per_release", "wakeups", "coalesced");
+  for (int nkeys : {1, 4, 16, 64}) {
+    for (int depth : {1, 3}) {
+      for (int nwaiters : {0, 2, 8}) {
+        Cell cell;
+        cell.keys = nkeys;
+        cell.depth = depth;
+        cell.waiters = nwaiters;
+        const CellResult r = RunCell(cell);
+        std::printf("%6d %6d %8d | %14.0f %10llu %10llu\n", nkeys, depth,
+                    nwaiters, r.ns_per_release,
+                    static_cast<unsigned long long>(r.wakeups_issued),
+                    static_cast<unsigned long long>(r.wakeups_coalesced));
+        std::fflush(stdout);
+        out.Add(StrCat("fanout_", nkeys, "keys_d", depth, "_w", nwaiters))
+            .Int("keys", static_cast<unsigned long long>(nkeys))
+            .Int("depth", static_cast<unsigned long long>(depth))
+            .Int("waiters", static_cast<unsigned long long>(nwaiters))
+            .Int("rounds", static_cast<unsigned long long>(r.rounds))
+            .Num("ns_per_release", r.ns_per_release)
+            .Int("wakeups_issued", r.wakeups_issued)
+            .Int("wakeups_coalesced", r.wakeups_coalesced);
+      }
+    }
+  }
+  if (json) return out.Write() ? 0 : 1;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return Run(nestedtx::bench::HasFlag(argc, argv, "--json"));
+}

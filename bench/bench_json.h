@@ -10,6 +10,7 @@
 #define NESTEDTX_BENCH_BENCH_JSON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -22,6 +23,21 @@ inline bool HasFlag(int argc, char** argv, const char* flag) {
     if (std::strcmp(argv[i], flag) == 0) return true;
   }
   return false;
+}
+
+/// True when NESTEDTX_BENCH_SMOKE is set: CI's bench-smoke step runs
+/// every binary this way, only to prove it builds, runs and writes valid
+/// output — the numbers are meaningless and never recorded.
+inline bool Smoke() {
+  const char* env = std::getenv("NESTEDTX_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/// Iteration count for a timing loop: `full` normally, a token few in
+/// smoke mode.
+inline int Iters(int full) {
+  if (!Smoke()) return full;
+  return full < 1000 ? 1 : full / 1000;
 }
 
 class JsonResultFile {

@@ -122,6 +122,37 @@ void BM_CommitInherit(benchmark::State& state) {
 }
 BENCHMARK(BM_CommitInherit)->Arg(1)->Arg(8)->Arg(64);
 
+// Batched commit fan-out with cached handles: the KeyHold overload skips
+// every shard hash, groups stats/wait-graph traffic and defers wakeups —
+// the release path a real transaction commit takes.
+void BM_CommitFanoutHeld(benchmark::State& state) {
+  EngineStats stats;
+  LockManager lm(Opts(), &stats);
+  const int nkeys = static_cast<int>(state.range(0));
+  std::vector<std::string> names;
+  for (int k = 0; k < nkeys; ++k) names.push_back(StrCat("k", k));
+  const TransactionId parent = TransactionId::Root().Child(0);
+  const TransactionId child = parent.Child(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<LockManager::KeyHold> holds;
+    holds.reserve(names.size());
+    for (const auto& k : names) {
+      LockManager::HeldLock held;
+      (void)lm.AcquireWrite(
+          child, k, [](std::optional<int64_t>) { return 1; }, nullptr,
+          &held);
+      holds.push_back(LockManager::KeyHold{k, held});
+    }
+    state.ResumeTiming();
+    lm.OnCommit(child, parent, holds);
+    state.PauseTiming();
+    lm.OnAbort(parent, names);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_CommitFanoutHeld)->Arg(1)->Arg(16)->Arg(64);
+
 // Abort-purge cost: a subtree holding N keys aborts.
 void BM_AbortPurge(benchmark::State& state) {
   EngineStats stats;
@@ -241,6 +272,89 @@ double MeasureNsPerOp(int iters, Fn&& fn) {
   return (NowSeconds() - t0) / iters * 1e9;
 }
 
+// Per-iteration untimed setup, timed body: what PauseTiming/ResumeTiming
+// do for google-benchmark, for the manual --json loops.
+template <typename Setup, typename Timed>
+double MeasurePhasedNsPerOp(int iters, Setup&& setup, Timed&& timed) {
+  double total = 0;
+  for (int i = 0; i < iters; ++i) {
+    setup(i);
+    const double t0 = NowSeconds();
+    timed(i);
+    total += NowSeconds() - t0;
+  }
+  return total / iters * 1e9;
+}
+
+// Commit fan-out rows: a child holding 16 keys commits them to its
+// parent in one batched call — with cached handles, via the string
+// adapter, and the abort-side purge. Only the release call is timed.
+void AddCommitFanoutRows(bench::JsonResultFile& out) {
+  constexpr int kKeys = 16;
+  const TransactionId parent = TransactionId::Root().Child(0);
+  const TransactionId child = parent.Child(0);
+  std::vector<std::string> names;
+  for (int k = 0; k < kKeys; ++k) names.push_back(StrCat("k", k));
+  {
+    EngineStats stats;
+    LockManager lm(Opts(), &stats);
+    std::vector<LockManager::KeyHold> holds;
+    out.Add("commit_fanout_16keys")
+        .Int("keys", kKeys)
+        .Num("ns_per_op",
+             MeasurePhasedNsPerOp(
+                 bench::Iters(20000),
+                 [&](int i) {
+                   if (i > 0) lm.OnAbort(parent, names);
+                   holds.clear();
+                   for (const auto& k : names) {
+                     LockManager::HeldLock held;
+                     (void)lm.AcquireWrite(
+                         child, k,
+                         [](std::optional<int64_t>) { return 1; }, nullptr,
+                         &held);
+                     holds.push_back(LockManager::KeyHold{k, held});
+                   }
+                 },
+                 [&](int) { lm.OnCommit(child, parent, holds); }));
+  }
+  {
+    EngineStats stats;
+    LockManager lm(Opts(), &stats);
+    out.Add("commit_fanout_16keys_string")
+        .Int("keys", kKeys)
+        .Num("ns_per_op",
+             MeasurePhasedNsPerOp(
+                 bench::Iters(20000),
+                 [&](int i) {
+                   if (i > 0) lm.OnAbort(parent, names);
+                   for (const auto& k : names) {
+                     (void)lm.AcquireWrite(
+                         child, k,
+                         [](std::optional<int64_t>) { return 1; });
+                   }
+                 },
+                 [&](int) { lm.OnCommit(child, parent, names); }));
+  }
+  {
+    EngineStats stats;
+    LockManager lm(Opts(), &stats);
+    out.Add("abort_fanout_16keys")
+        .Int("keys", kKeys)
+        .Num("ns_per_op",
+             MeasurePhasedNsPerOp(
+                 bench::Iters(20000),
+                 [&](int) {
+                   for (const auto& k : names) {
+                     (void)lm.AcquireWrite(
+                         child, k,
+                         [](std::optional<int64_t>) { return 1; });
+                   }
+                 },
+                 [&](int) { lm.OnAbort(child, names); }));
+  }
+}
+
 int RunJsonMode() {
   using bench::JsonResultFile;
   JsonResultFile out("bench_lock_manager");
@@ -249,7 +363,7 @@ int RunJsonMode() {
     const TransactionId base = TransactionId::Root().Child(3).Child(1);
     size_t sink = 0;
     out.Add("txnid_child_hash")
-        .Num("ns_per_op", MeasureNsPerOp(3000000, [&](int i) {
+        .Num("ns_per_op", MeasureNsPerOp(bench::Iters(3000000), [&](int i) {
           sink ^= base.Child(static_cast<uint32_t>(i) & 1023).Hash();
         }));
     benchmark::DoNotOptimize(sink);
@@ -259,7 +373,7 @@ int RunJsonMode() {
     const TransactionId d = a.Child(0).Child(1).Child(2);
     int sink = 0;
     out.Add("txnid_is_ancestor")
-        .Num("ns_per_op", MeasureNsPerOp(3000000, [&](int) {
+        .Num("ns_per_op", MeasureNsPerOp(bench::Iters(3000000), [&](int) {
           sink += a.IsAncestorOf(d);
         }));
     benchmark::DoNotOptimize(sink);
@@ -271,7 +385,7 @@ int RunJsonMode() {
     (void)txn->TryGet("k");
     int64_t sink = 0;
     out.Add("repeat_read_held")
-        .Num("ns_per_op", MeasureNsPerOp(2000000, [&](int) {
+        .Num("ns_per_op", MeasureNsPerOp(bench::Iters(2000000), [&](int) {
           sink += txn->TryGet("k")->value_or(0);
         }));
     benchmark::DoNotOptimize(sink);
@@ -282,7 +396,7 @@ int RunJsonMode() {
     db.Preload("k", 0);
     auto txn = db.Begin();
     out.Add("repeat_write_held")
-        .Num("ns_per_op", MeasureNsPerOp(1000000, [&](int) {
+        .Num("ns_per_op", MeasureNsPerOp(bench::Iters(1000000), [&](int) {
           (void)txn->Add("k", 1);
         }));
     txn->Abort();
@@ -291,12 +405,13 @@ int RunJsonMode() {
     Database db;
     db.Preload("k", 1);
     out.Add("cold_txn_read_commit")
-        .Num("ns_per_op", MeasureNsPerOp(300000, [&](int) {
+        .Num("ns_per_op", MeasureNsPerOp(bench::Iters(300000), [&](int) {
           auto txn = db.Begin();
           (void)txn->TryGet("k");
           (void)txn->Commit();
         }));
   }
+  AddCommitFanoutRows(out);
   return out.Write() ? 0 : 1;
 }
 

@@ -9,6 +9,7 @@
 // Expected shape: zero violations everywhere.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "checker/serial_correctness.h"
 #include "explore/enumerator.h"
 #include "locking/locking_system.h"
@@ -64,7 +65,8 @@ SystemType TwoObjects() {
   return b.Build();
 }
 
-void Run(const char* name, const SystemType& st, bool aborts) {
+void Run(const char* name, const SystemType& st, bool aborts,
+         bench::JsonResultFile* json) {
   LockingSystemOptions sys;
   sys.scheduler.allow_spontaneous_aborts = aborts;
   SystemFactory factory = [&]() {
@@ -82,8 +84,9 @@ void Run(const char* name, const SystemType& st, bool aborts) {
   // Tiny systems' interleaving spaces run to the hundreds of thousands;
   // enumerate a deterministic DFS prefix per configuration and rely on E2
   // for randomized breadth. Configurations small enough to finish under
-  // the cap are reported "(exhaustive)".
-  opts.max_schedules = 8000;
+  // the cap are reported "(exhaustive)". Smoke mode enumerates a token
+  // prefix — just enough to prove the pipeline runs.
+  opts.max_schedules = bench::Smoke() ? 50 : 8000;
   opts.max_steps = 10'000'000;
   Stopwatch clock;
   auto stats = EnumerateSchedules(factory, visitor, opts);
@@ -97,27 +100,39 @@ void Run(const char* name, const SystemType& st, bool aborts) {
               stats->max_schedule_length, violations,
               stats->exhausted ? "(exhaustive)" : "(capped)    ",
               clock.ElapsedSeconds());
+  if (json != nullptr) {
+    json->Add(std::string(name) + (aborts ? "+aborts" : ""))
+        .Int("schedules", stats->schedules_visited)
+        .Int("max_len", stats->max_schedule_length)
+        .Int("violations", violations)
+        .Int("exhaustive", stats->exhausted ? 1 : 0)
+        .Num("seconds", clock.ElapsedSeconds());
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json = nestedtx::bench::HasFlag(argc, argv, "--json");
+  bench::JsonResultFile out("bench_model_exhaustive");
+  bench::JsonResultFile* j = json ? &out : nullptr;
   std::printf("E1: (bounded-)exhaustive Theorem-34 validation "
               "(expected shape: 0 violations everywhere)\n");
-  Run("single-txn", OneTxnOneAccess(), false);
-  Run("single-txn", OneTxnOneAccess(), true);
+  Run("single-txn", OneTxnOneAccess(), false, j);
+  Run("single-txn", OneTxnOneAccess(), true, j);
   Run("write/write", TwoTxnsOneObject(AccessKind::kWrite, AccessKind::kWrite),
-      false);
+      false, j);
   Run("read/write", TwoTxnsOneObject(AccessKind::kRead, AccessKind::kWrite),
-      false);
+      false, j);
   Run("read/read", TwoTxnsOneObject(AccessKind::kRead, AccessKind::kRead),
-      false);
-  Run("nested-writer+reader", NestedWriterPlusReader(), false);
-  Run("two-objects", TwoObjects(), false);
+      false, j);
+  Run("nested-writer+reader", NestedWriterPlusReader(), false, j);
+  Run("two-objects", TwoObjects(), false, j);
   Run("write/write", TwoTxnsOneObject(AccessKind::kWrite, AccessKind::kWrite),
-      true);
+      true, j);
   Run("read/write", TwoTxnsOneObject(AccessKind::kRead, AccessKind::kWrite),
-      true);
-  Run("nested-writer+reader", NestedWriterPlusReader(), true);
+      true, j);
+  Run("nested-writer+reader", NestedWriterPlusReader(), true, j);
+  if (json) return out.Write() ? 0 : 1;
   return 0;
 }

@@ -5,6 +5,7 @@
 // cost. Expected shape: zero violations; cost grows with events x tree.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "checker/serial_correctness.h"
 #include "explore/random_walk.h"
 #include "explore/workload.h"
@@ -14,8 +15,11 @@ using namespace nestedtx;
 
 namespace {
 
-void RunCell(const char* label, const WorkloadParams& params, int types,
-             int runs_per_type) {
+void RunCell(const char* label, const WorkloadParams& params, int raw_types,
+             int raw_runs_per_type, bench::JsonResultFile* json) {
+  // Smoke mode: one system type, one run — proves the pipeline only.
+  const int types = bench::Smoke() ? 1 : raw_types;
+  const int runs_per_type = bench::Smoke() ? 1 : raw_runs_per_type;
   size_t violations = 0, runs = 0, events = 0;
   double run_secs = 0, check_secs = 0;
   for (int ts = 0; ts < types; ++ts) {
@@ -41,11 +45,23 @@ void RunCell(const char* label, const WorkloadParams& params, int types,
       label, runs, events, violations,
       run_secs > 0 ? events / run_secs : 0,
       check_secs > 0 ? events / check_secs : 0);
+  if (json != nullptr) {
+    json->Add(label)
+        .Int("runs", runs)
+        .Int("events", events)
+        .Int("violations", violations)
+        .Num("exec_events_per_sec", run_secs > 0 ? events / run_secs : 0)
+        .Num("check_events_per_sec",
+             check_secs > 0 ? events / check_secs : 0);
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool want_json = nestedtx::bench::HasFlag(argc, argv, "--json");
+  bench::JsonResultFile out("bench_model_random");
+  bench::JsonResultFile* j = want_json ? &out : nullptr;
   std::printf("E2: randomized Theorem-34 validation "
               "(expected shape: 0 violations in every row)\n");
 
@@ -55,30 +71,31 @@ int main() {
   base.max_extra_depth = 1;
   base.read_ratio = 0.5;
 
-  RunCell("baseline", base, 10, 10);
+  RunCell("baseline", base, 10, 10, j);
 
   WorkloadParams deep = base;
   deep.max_extra_depth = 4;
   deep.access_probability = 0.4;
-  RunCell("deep-nesting", deep, 10, 10);
+  RunCell("deep-nesting", deep, 10, 10, j);
 
   WorkloadParams wide = base;
   wide.num_top_level = 6;
   wide.max_children = 4;
-  RunCell("wide-trees", wide, 8, 8);
+  RunCell("wide-trees", wide, 8, 8, j);
 
   WorkloadParams readonly = base;
   readonly.read_ratio = 1.0;
-  RunCell("all-reads", readonly, 10, 10);
+  RunCell("all-reads", readonly, 10, 10, j);
 
   WorkloadParams writeonly = base;
   writeonly.read_ratio = 0.0;
-  RunCell("all-writes(exclusive)", writeonly, 10, 10);
+  RunCell("all-writes(exclusive)", writeonly, 10, 10, j);
 
   WorkloadParams hotspot = base;
   hotspot.num_objects = 1;
   hotspot.num_top_level = 5;
-  RunCell("single-object-hotspot", hotspot, 8, 8);
+  RunCell("single-object-hotspot", hotspot, 8, 8, j);
 
+  if (want_json) return out.Write() ? 0 : 1;
   return 0;
 }

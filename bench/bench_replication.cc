@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/replicated.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
@@ -62,7 +63,8 @@ Cell RunCell(const ReplicationOptions& opts, int dead_copies,
       }
     });
   }
-  while (clock.ElapsedSeconds() < 0.4) {
+  const double duration = bench::Smoke() ? 0.02 : 0.4;
+  while (clock.ElapsedSeconds() < duration) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   stop.store(true);
@@ -76,7 +78,9 @@ Cell RunCell(const ReplicationOptions& opts, int dead_copies,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool want_json = nestedtx::bench::HasFlag(argc, argv, "--json");
+  bench::JsonResultFile out("bench_replication");
   std::printf("E10: quorum replication on nested transactions "
               "(4 threads, 8 keys, 70%% reads)\n");
   std::printf("%16s | %10s %13s %16s\n", "config", "txn/s",
@@ -95,6 +99,14 @@ int main() {
                                         : Cell{0, 1};
     std::printf("%16s | %10.0f %13.0f %15.1f%%\n", row.label,
                 healthy.txn_s, one_dead.txn_s, 100 * two_dead.failed_ratio);
+    out.Add(row.label)
+        .Int("copies", row.opts.copies)
+        .Int("read_quorum", row.opts.read_quorum)
+        .Int("write_quorum", row.opts.write_quorum)
+        .Num("txn_per_sec", healthy.txn_s)
+        .Num("txn_per_sec_one_dead", one_dead.txn_s)
+        .Num("write_fail_ratio_two_dead", two_dead.failed_ratio);
   }
+  if (want_json) return out.Write() ? 0 : 1;
   return 0;
 }

@@ -144,7 +144,11 @@ inline Status RunOneTransaction(const WorkloadConfig& cfg, Transaction& txn,
   return s;
 }
 
-inline WorkloadResult RunWorkload(const WorkloadConfig& cfg) {
+inline WorkloadResult RunWorkload(const WorkloadConfig& raw_cfg) {
+  WorkloadConfig cfg = raw_cfg;
+  // CI's smoke step only proves the binary runs end to end; one short
+  // time box per cell keeps a whole sweep under a second.
+  if (Smoke()) cfg.duration_seconds = std::min(cfg.duration_seconds, 0.02);
   EngineOptions options;
   options.cc_mode = cfg.mode;
   options.lock_timeout = cfg.lock_timeout;

@@ -1,7 +1,9 @@
 #include "core/lock_manager.h"
 
+#include <algorithm>
 #include <functional>
 #include <set>
+#include <utility>
 
 #include "core/failpoints.h"
 #include "core/id_small_set.h"
@@ -22,10 +24,17 @@ struct LockManager::KeyState {
   std::mutex m;
   std::condition_variable cv;
   IdSet read_holders;
-  IdSet write_holders;
-  VersionMap versions;
+  // Write holders with their version slots: holder set and version map
+  // are always the same transactions, so one sorted vector serves both.
+  VersionMap write_holders;
   std::optional<int64_t> base;
   uint64_t holder_epoch = 0;
+  // Threads parked on cv, maintained under m (incremented only around
+  // the cv wait). Releasers skip the wakeup entirely when it is 0; no
+  // wakeup is lost because a waiter holds m from wake to re-park, so a
+  // releaser either sees it parked or sees the post-release state it
+  // re-checks against.
+  uint32_t waiters = 0;
 };
 
 LockManager::LockManager(const EngineOptions& options, EngineStats* stats)
@@ -40,24 +49,12 @@ LockManager::LockManager(const EngineOptions& options, EngineStats* stats)
 
 void LockManager::NoteLockAcquired(const TransactionId& txn) {
   if (!track_lock_counts_) return;
-  std::lock_guard<std::mutex> lock(lock_counts_mu_);
-  ++lock_counts_[txn];
-}
-
-void LockManager::NoteLockReleased(const TransactionId& txn) {
-  if (!track_lock_counts_) return;
-  std::lock_guard<std::mutex> lock(lock_counts_mu_);
-  auto it = lock_counts_.find(txn);
-  if (it != lock_counts_.end() && --it->second == 0) {
-    lock_counts_.erase(it);
-  }
+  wait_graph_.NoteLockAcquired(txn);
 }
 
 uint64_t LockManager::LocksHeldBy(const TransactionId& txn) const {
   if (!track_lock_counts_) return 0;
-  std::lock_guard<std::mutex> lock(lock_counts_mu_);
-  auto it = lock_counts_.find(txn);
-  return it == lock_counts_.end() ? 0 : it->second;
+  return wait_graph_.LocksHeldBy(txn);
 }
 
 LockManager::~LockManager() = default;
@@ -73,11 +70,13 @@ LockManager::KeyState& LockManager::GetKeyState(const std::string& key) {
 }
 
 std::optional<int64_t> LockManager::CurrentValue(const KeyState& ks) {
-  const TransactionId* deepest = nullptr;
-  for (const TransactionId& w : ks.write_holders) {
-    if (deepest == nullptr || w.Depth() > deepest->Depth()) deepest = &w;
+  const VersionMap::Entry* deepest = nullptr;
+  for (const VersionMap::Entry& e : ks.write_holders) {
+    if (deepest == nullptr || e.id.Depth() > deepest->id.Depth()) {
+      deepest = &e;
+    }
   }
-  if (deepest != nullptr) return *ks.versions.Find(*deepest);
+  if (deepest != nullptr) return deepest->value;
   return ks.base;
 }
 
@@ -85,8 +84,8 @@ std::vector<TransactionId> LockManager::Conflicts(const KeyState& ks,
                                                   const TransactionId& txn,
                                                   bool exclusive) {
   std::vector<TransactionId> out;
-  for (const TransactionId& w : ks.write_holders) {
-    if (!w.IsAncestorOf(txn)) out.push_back(w);
+  for (const VersionMap::Entry& e : ks.write_holders) {
+    if (!e.id.IsAncestorOf(txn)) out.push_back(e.id);
   }
   if (exclusive) {
     for (const TransactionId& r : ks.read_holders) {
@@ -151,15 +150,31 @@ Status LockManager::WaitForGrant(KeyState& ks,
       }
       registered = true;
       if (!wakeups.empty()) {
-        // Our registration victimized other waiters. Deliver each wakeup
-        // under the victim's key mutex (closing the lost-wakeup window
-        // between its victim-flag check and its wait) — but never while
-        // holding two key mutexes, so drop ours first and re-evaluate
-        // the conflict set afterwards.
+        // Our registration victimized other waiters. Drop our key mutex
+        // (never hold two), then for each distinct victim slot pass
+        // through the victim's key mutex and notify only after releasing
+        // it. The mutex pass orders the delivery after the victim's
+        // check-then-wait critical section — the victim either has not
+        // checked its flag yet (it will see the mark) or is already
+        // parked in wait (the notify reaches it) — while notifying
+        // unlocked means the woken victim never stalls on a mutex we
+        // still own. Several victims parked on one key share a slot;
+        // duplicates are coalesced to one pass+notify.
         lk.unlock();
-        for (const WaitGraph::Wakeup& w : wakeups) {
-          std::lock_guard<std::mutex> victim_lock(*w.mutex);
-          w.cv->notify_all();
+        uint64_t issued = 0;
+        for (size_t i = 0; i < wakeups.size(); ++i) {
+          bool seen = false;
+          for (size_t j = 0; j < i && !seen; ++j) {
+            seen = wakeups[j].cv == wakeups[i].cv;
+          }
+          if (seen) continue;
+          { std::lock_guard<std::mutex> victim_lock(*wakeups[i].mutex); }
+          wakeups[i].cv->notify_all();
+          ++issued;
+        }
+        stats_->Add(kStatWakeupsIssued, issued);
+        if (issued < wakeups.size()) {
+          stats_->Add(kStatWakeupsCoalesced, wakeups.size() - issued);
         }
         lk.lock();
         continue;
@@ -178,8 +193,11 @@ Status LockManager::WaitForGrant(KeyState& ks,
           deadline, std::chrono::steady_clock::now() +
                         std::chrono::microseconds(50));
     }
-    if (ks.cv.wait_until(lk, this_deadline) == std::cv_status::timeout &&
-        std::chrono::steady_clock::now() >= deadline) {
+    ++ks.waiters;
+    const bool timed_out =
+        ks.cv.wait_until(lk, this_deadline) == std::cv_status::timeout;
+    --ks.waiters;
+    if (timed_out && std::chrono::steady_clock::now() >= deadline) {
       // One final re-check under the lock before declaring timeout.
       if (Conflicts(ks, txn, exclusive).empty()) return Status::OK();
       stats_->Add(kStatLockTimeouts);
@@ -237,11 +255,10 @@ Result<std::optional<int64_t>> LockManager::AcquireWriteOn(
   FailPoints::MaybeDelay(FailPoints::kLockGrant);
   const std::optional<int64_t> current = CurrentValue(ks);
   const std::optional<int64_t> next = mutator(current);
-  if (ks.write_holders.Insert(txn)) {
+  if (ks.write_holders.Put(txn, next)) {
     ++ks.holder_epoch;
     NoteLockAcquired(txn);
   }
-  ks.versions.Put(txn, next);
   stats_->Add2(kStatLockGrants, kStatWrites);
   if (held != nullptr) {
     *held = HeldLock{&ks, ks.holder_epoch,
@@ -293,7 +310,7 @@ bool LockManager::TryReacquireWrite(HeldLock& held, const TransactionId& txn,
   // holder and nobody new joined — the write is conflict-free.
   const std::optional<int64_t> current = CurrentValue(ks);
   const std::optional<int64_t> next = mutator(current);
-  ks.versions.Put(txn, next);
+  (void)ks.write_holders.Put(txn, next);  // held: assign, never insert
   stats_->Add2(kStatLockGrants, kStatWrites);
   if (recorder_ != nullptr && trace != nullptr) {
     recorder_->EmitAccess(ks.key, *trace, next.value_or(kAbsentValue));
@@ -317,100 +334,257 @@ Result<std::optional<int64_t>> LockManager::ReacquireWrite(
   return AcquireWriteOn(*held.key, txn, mutator, trace, &held);
 }
 
-void LockManager::CommitKey(KeyState& ks, const TransactionId& txn,
-                            const TransactionId& parent) {
-  std::lock_guard<std::mutex> lock(ks.m);
+// Batch-local bookkeeping: counter and lock-count deltas accumulated
+// while key mutexes are held, wakeup intents deduped by KeyState, all
+// flushed once after the last key mutex drops.
+struct LockManager::ReleaseScratch {
+  bool track_counts = false;
+  uint64_t inherited = 0;        // commit: lock handoffs (or releases)
+  uint64_t discarded = 0;        // abort: versions purged
+  uint64_t notify_requests = 0;  // raw intents, before coalescing
+  std::vector<KeyState*> changed;  // deduped pending wakeups
+  std::vector<WaitGraph::LockCountDelta> deltas;
+
+  // Clear for a new batch, keeping vector capacity (the scratch is
+  // thread-local and reused across batches).
+  void Reset(bool track) {
+    track_counts = track;
+    inherited = discarded = notify_requests = 0;
+    changed.clear();
+    deltas.clear();
+  }
+
+  // A holder-set change on `ks` wants its waiters woken. Dual-mode
+  // (read+write) holders request twice per key; the dedupe coalesces
+  // them to one notify.
+  void PendWakeup(KeyState* ks) {
+    ++notify_requests;
+    if (std::find(changed.begin(), changed.end(), ks) == changed.end()) {
+      changed.push_back(ks);
+    }
+  }
+
+  // Accumulate a signed lock-count delta for `id` (kFewestLocksHeld
+  // bookkeeping only); same-id deltas merge so the batch hands the wait
+  // graph one entry per distinct transaction.
+  void Note(const TransactionId& id, int64_t d) {
+    if (!track_counts) return;
+    for (WaitGraph::LockCountDelta& e : deltas) {
+      if (e.first == id) {
+        e.second += d;
+        return;
+      }
+    }
+    deltas.emplace_back(id, d);
+  }
+};
+
+void LockManager::CommitKeyLocked(KeyState& ks, const TransactionId& txn,
+                                  const TransactionId& parent,
+                                  ReleaseScratch& scratch) {
   // Stretch the inherit window while holders pile up on ks.cv — the
   // commit-side race surface the storm tests lean on.
   FailPoints::MaybeDelay(FailPoints::kCommitInherit);
   bool changed = false;
-  if (ks.write_holders.Erase(txn)) {
-    NoteLockReleased(txn);
-    std::optional<int64_t> version = ks.versions.Take(txn);
-    if (parent.IsRoot()) {
-      ks.base = version;  // top-level commit: install as base
-    } else {
-      if (ks.write_holders.Insert(parent)) {
+  // Each released mode requests a wakeup, but only if some thread is
+  // actually parked on this key — the waiter-count handshake (see
+  // KeyState::waiters) makes the skip lossless. A dual-mode holder's two
+  // requests are coalesced to one notify in phase 3.
+  if (parent.IsRoot()) {
+    // Top-level commit: release the locks, install the version as base.
+    if (auto version = ks.write_holders.TryTake(txn)) {
+      scratch.Note(txn, -1);
+      ks.base = *version;
+      ++scratch.inherited;
+      if (ks.waiters > 0) scratch.PendWakeup(&ks);
+      changed = true;
+    }
+    if (ks.read_holders.Erase(txn)) {
+      scratch.Note(txn, -1);
+      ++scratch.inherited;
+      if (ks.waiters > 0) scratch.PendWakeup(&ks);
+      changed = true;
+    }
+  } else {
+    // Subtransaction commit: the parent takes the child's place — and
+    // inherits its version — in one sorted-vector pass per mode.
+    switch (ks.write_holders.ReplaceWithAncestor(txn, parent)) {
+      case ReplaceOutcome::kAbsent:
+        break;
+      case ReplaceOutcome::kReplaced:
+        ++ks.holder_epoch;  // parent is a new holder (fast-lane fence)
+        scratch.Note(parent, +1);
+        [[fallthrough]];
+      case ReplaceOutcome::kMerged:
+        scratch.Note(txn, -1);
+        ++scratch.inherited;
+        if (ks.waiters > 0) scratch.PendWakeup(&ks);
+        changed = true;
+        break;
+    }
+    switch (ks.read_holders.ReplaceWithAncestor(txn, parent)) {
+      case ReplaceOutcome::kAbsent:
+        break;
+      case ReplaceOutcome::kReplaced:
         ++ks.holder_epoch;
-        NoteLockAcquired(parent);
-      }
-      ks.versions.Put(parent, version);
+        scratch.Note(parent, +1);
+        [[fallthrough]];
+      case ReplaceOutcome::kMerged:
+        scratch.Note(txn, -1);
+        ++scratch.inherited;
+        if (ks.waiters > 0) scratch.PendWakeup(&ks);
+        changed = true;
+        break;
     }
-    stats_->Add(kStatLocksInherited);
-    changed = true;
   }
-  if (ks.read_holders.Erase(txn)) {
-    NoteLockReleased(txn);
-    if (!parent.IsRoot() && ks.read_holders.Insert(parent)) {
-      ++ks.holder_epoch;
-      NoteLockAcquired(parent);
-    }
-    stats_->Add(kStatLocksInherited);
-    changed = true;
-  }
-  if (changed) {
-    if (recorder_ != nullptr) {
-      recorder_->Emit(
-          Event::InformCommitAt(recorder_->ObjectFor(ks.key), txn));
-    }
-    ks.cv.notify_all();
+  if (changed && recorder_ != nullptr) {
+    // Emitted under ks.m at the instant of the state change, so the
+    // per-object event order is the enforced order (header comment).
+    recorder_->Emit(Event::InformCommitAt(recorder_->ObjectFor(ks.key), txn));
   }
 }
 
-void LockManager::AbortKey(KeyState& ks, const TransactionId& txn) {
-  std::lock_guard<std::mutex> lock(ks.m);
-  // Stretch the purge window (see CommitKey).
+void LockManager::AbortKeyLocked(KeyState& ks, const TransactionId& txn,
+                                 ReleaseScratch& scratch) {
+  // Stretch the purge window (see CommitKeyLocked).
   FailPoints::MaybeDelay(FailPoints::kAbortPurge);
-  bool changed = false;
   // Discard entries of txn and (defensively) any stray descendants.
-  changed |= ks.write_holders.EraseIf(
-                 [&](const TransactionId& w) {
-                   return txn.IsAncestorOf(w);
-                 },
-                 [&](const TransactionId& w) {
-                   ks.versions.Erase(w);
-                   NoteLockReleased(w);
-                   stats_->Add(kStatVersionsDiscarded);
-                 }) > 0;
-  changed |= ks.read_holders.EraseIf(
-                 [&](const TransactionId& r) {
-                   return txn.IsAncestorOf(r);
-                 },
-                 [&](const TransactionId& r) { NoteLockReleased(r); }) > 0;
+  const size_t writes = ks.write_holders.EraseIf(
+      [&](const TransactionId& w) { return txn.IsAncestorOf(w); },
+      [&](const TransactionId& w) {
+        scratch.Note(w, -1);
+        ++scratch.discarded;  // each write holder owned one version slot
+      });
+  const size_t reads = ks.read_holders.EraseIf(
+      [&](const TransactionId& r) { return txn.IsAncestorOf(r); },
+      [&](const TransactionId& r) { scratch.Note(r, -1); });
+  if (ks.waiters > 0) {
+    if (writes > 0) scratch.PendWakeup(&ks);
+    if (reads > 0) scratch.PendWakeup(&ks);
+  }
   if (recorder_ != nullptr) {
     // Informed even when no lock was held (the model's generic
     // scheduler may inform any object of any abort).
     recorder_->Emit(Event::InformAbortAt(recorder_->ObjectFor(ks.key), txn));
   }
-  if (changed) ks.cv.notify_all();
 }
+
+template <typename KeyOf, typename HeldOf>
+void LockManager::ReleaseBatch(const TransactionId& txn,
+                               const TransactionId* parent, size_t n,
+                               const KeyOf& key_of, const HeldOf& held_of) {
+  if (n == 0) return;
+
+  // Batch buffers are thread-local: a release runs to completion on its
+  // calling thread and never reenters the release path, so reusing the
+  // buffers' capacity keeps repeated small batches allocation-free.
+  thread_local std::vector<KeyState*> states;
+  thread_local std::vector<std::pair<size_t, size_t>> uncached;
+  thread_local ReleaseScratch scratch;
+  states.assign(n, nullptr);
+  uncached.clear();  // (shard, key index)
+  scratch.Reset(track_lock_counts_);
+
+  // Phase 1: resolve every KeyState. Cached handles go direct — no
+  // shard hash at all on the fast path; the remainder are bucketed by
+  // shard and resolved under one shard-mutex hold per shard instead of
+  // one lock/unlock cycle per key.
+  for (size_t i = 0; i < n; ++i) {
+    const HeldLock* held = held_of(i);
+    if (held != nullptr && held->key != nullptr) {
+      states[i] = held->key;
+    } else {
+      uncached.emplace_back(
+          std::hash<std::string>{}(key_of(i)) % shards_.size(), i);
+    }
+  }
+  if (!uncached.empty()) {
+    std::sort(uncached.begin(), uncached.end());
+    for (size_t j = 0; j < uncached.size();) {
+      Shard& shard = shards_[uncached[j].first];
+      std::lock_guard<std::mutex> lock(shard.m);
+      for (const size_t s = uncached[j].first;
+           j < uncached.size() && uncached[j].first == s; ++j) {
+        const std::string& key = key_of(uncached[j].second);
+        auto it = shard.keys.find(key);
+        if (it == shard.keys.end()) {
+          it = shard.keys.emplace(key, std::make_unique<KeyState>(key)).first;
+        }
+        states[uncached[j].second] = it->second.get();
+      }
+    }
+  }
+
+  // Phase 2: per key, under that key's mutex only — inherit or purge,
+  // trace event, wakeup/count intents into the scratch. No notifies.
+  for (size_t i = 0; i < n; ++i) {
+    KeyState& ks = *states[i];
+    std::lock_guard<std::mutex> lock(ks.m);
+    if (parent != nullptr) {
+      CommitKeyLocked(ks, txn, *parent, scratch);
+    } else {
+      AbortKeyLocked(ks, txn, scratch);
+    }
+  }
+
+  // Phase 3: every key mutex is dropped. One bulk wait-graph call for
+  // the whole batch's lock counts, one striped-counter bump per stat,
+  // then the coalesced wakeups — woken waiters grab a free mutex.
+  if (!scratch.deltas.empty()) {
+    wait_graph_.ApplyLockCountDeltas(scratch.deltas);
+  }
+  if (scratch.inherited > 0) {
+    stats_->Add(kStatLocksInherited, scratch.inherited);
+  }
+  if (scratch.discarded > 0) {
+    stats_->Add(kStatVersionsDiscarded, scratch.discarded);
+  }
+  if (!scratch.changed.empty()) {
+    stats_->Add(kStatWakeupsIssued, scratch.changed.size());
+    const uint64_t coalesced =
+        scratch.notify_requests - scratch.changed.size();
+    if (coalesced > 0) stats_->Add(kStatWakeupsCoalesced, coalesced);
+    for (KeyState* ks : scratch.changed) ks->cv.notify_all();
+  }
+}
+
+namespace {
+// held_of accessor for the string overloads: no cached handles.
+constexpr auto kNoHeld = [](size_t) -> const LockManager::HeldLock* {
+  return nullptr;
+};
+}  // namespace
 
 void LockManager::OnCommit(const TransactionId& txn,
                            const TransactionId& parent,
                            const std::vector<std::string>& keys) {
-  for (const std::string& key : keys) CommitKey(GetKeyState(key), txn, parent);
+  ReleaseBatch(
+      txn, &parent, keys.size(),
+      [&](size_t i) -> const std::string& { return keys[i]; }, kNoHeld);
 }
 
 void LockManager::OnCommit(const TransactionId& txn,
                            const TransactionId& parent,
                            const std::vector<KeyHold>& keys) {
-  for (const KeyHold& kh : keys) {
-    CommitKey(kh.held.key != nullptr ? *kh.held.key : GetKeyState(kh.key),
-              txn, parent);
-  }
+  ReleaseBatch(
+      txn, &parent, keys.size(),
+      [&](size_t i) -> const std::string& { return keys[i].key; },
+      [&](size_t i) { return &keys[i].held; });
 }
 
 void LockManager::OnAbort(const TransactionId& txn,
                           const std::vector<std::string>& keys) {
-  for (const std::string& key : keys) AbortKey(GetKeyState(key), txn);
+  ReleaseBatch(
+      txn, nullptr, keys.size(),
+      [&](size_t i) -> const std::string& { return keys[i]; }, kNoHeld);
 }
 
 void LockManager::OnAbort(const TransactionId& txn,
                           const std::vector<KeyHold>& keys) {
-  for (const KeyHold& kh : keys) {
-    AbortKey(kh.held.key != nullptr ? *kh.held.key : GetKeyState(kh.key),
-             txn);
-  }
+  ReleaseBatch(
+      txn, nullptr, keys.size(),
+      [&](size_t i) -> const std::string& { return keys[i].key; },
+      [&](size_t i) { return &keys[i].held; });
 }
 
 void LockManager::SetBase(const std::string& key,
@@ -424,6 +598,21 @@ std::optional<int64_t> LockManager::ReadBase(const std::string& key) {
   KeyState& ks = GetKeyState(key);
   std::lock_guard<std::mutex> lock(ks.m);
   return ks.base;
+}
+
+LockManager::KeySnapshotForTest LockManager::SnapshotKeyForTest(
+    const std::string& key) {
+  KeyState& ks = GetKeyState(key);
+  std::lock_guard<std::mutex> lock(ks.m);
+  KeySnapshotForTest out;
+  out.read_holders.assign(ks.read_holders.begin(), ks.read_holders.end());
+  for (const VersionMap::Entry& e : ks.write_holders) {
+    out.write_holders.push_back(e.id);
+    out.versions.emplace_back(e.id, e.value);
+  }
+  out.base = ks.base;
+  out.holder_epoch = ks.holder_epoch;
+  return out;
 }
 
 }  // namespace nestedtx

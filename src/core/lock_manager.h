@@ -34,6 +34,37 @@
 // P would have to lie strictly between P and O; for the handle to have
 // reached P, every transaction on that path has committed — which erased
 // it from the holder sets. So the no-conflict condition holds for P too.
+//
+// Batched release path: OnCommit/OnAbort take a transaction's whole key
+// inventory and run in three phases — (1) resolve every KeyState
+// pointer, taking cached handles directly and resolving the remaining
+// keys shard-by-shard under one shard-mutex hold each; (2) per key,
+// under that key's mutex, apply the INFORM_COMMIT_AT / INFORM_ABORT_AT
+// state change (inherit or purge) and record which keys' holder sets
+// changed; (3) with no key mutex held, apply the batch's lock-count
+// deltas in one WaitGraph call, bump the batch's counters once, and
+// issue one cv.notify_all per changed key (duplicate notify requests —
+// e.g. a dual-mode read+write holder — are coalesced first). Wakeups
+// are requested only for keys with a parked waiter: each KeyState
+// counts waiters under its mutex, and since a waiter holds that mutex
+// continuously from wake to re-park, a releaser either sees it parked
+// (and notifies) or the waiter re-checks against the post-release
+// state — the skip loses no wakeup.
+//
+// Trace-order safety of the batching (Theorem 34): the recorded
+// per-object event order must be the order the lock manager enforced.
+// Phase 2 still emits each key's INFORM_*_AT event under that key's
+// mutex, at the instant the holder sets change — exactly where the
+// per-key loop emitted it — so for any single object the inform event is
+// sequenced before any grant that observes the released lock (a later
+// grant must reacquire the same mutex, and events are stamped with
+// monotone global sequence numbers). Deferring the *wakeups* to phase 3
+// moves no events: a woken waiter emits its grant events only after
+// re-taking the key mutex and re-checking conflicts, so the per-object
+// order is unchanged; the deferral only shortens the notifier's critical
+// section (the woken thread no longer immediately blocks on the mutex
+// the notifier holds). Cross-object interleaving of inform events is
+// whatever the schedule allows, as it already was for the per-key loop.
 #ifndef NESTEDTX_CORE_LOCK_MANAGER_H_
 #define NESTEDTX_CORE_LOCK_MANAGER_H_
 
@@ -116,13 +147,17 @@ class LockManager {
 
   /// Commit `txn`'s entries on `keys`: locks and version pass to `parent`.
   /// A top-level commit (parent == T0) releases the locks and installs the
-  /// version as the committed base.
+  /// version as the committed base. Batched: see the header comment
+  /// (shard-grouped resolution, deferred coalesced wakeups, one bulk
+  /// lock-count call). The string overload is a thin adapter onto the
+  /// same implementation with no cached handles.
   void OnCommit(const TransactionId& txn, const TransactionId& parent,
                 const std::vector<std::string>& keys);
   void OnCommit(const TransactionId& txn, const TransactionId& parent,
                 const std::vector<KeyHold>& keys);
 
-  /// Abort `txn`: its entries on `keys` are discarded.
+  /// Abort `txn`: its entries on `keys` (and any stray descendants')
+  /// are discarded. Batched; the string overload is a thin adapter.
   void OnAbort(const TransactionId& txn,
                const std::vector<std::string>& keys);
   void OnAbort(const TransactionId& txn, const std::vector<KeyHold>& keys);
@@ -140,8 +175,21 @@ class LockManager {
                                               bool exclusive);
 
   /// Locks currently held by `txn` (0 unless the victim policy is
-  /// kFewestLocksHeld, the only mode that pays for the tracking).
+  /// kFewestLocksHeld, the only mode that pays for the tracking). The
+  /// index itself lives in the WaitGraph, its only consumer.
   uint64_t LocksHeldBy(const TransactionId& txn) const;
+
+  /// Full per-key state dump for equivalence tests: holder sets, version
+  /// entries, committed base and holder epoch, copied under the key
+  /// mutex. Not for production use.
+  struct KeySnapshotForTest {
+    std::vector<TransactionId> read_holders;
+    std::vector<TransactionId> write_holders;
+    std::vector<std::pair<TransactionId, std::optional<int64_t>>> versions;
+    std::optional<int64_t> base;
+    uint64_t holder_epoch = 0;
+  };
+  KeySnapshotForTest SnapshotKeyForTest(const std::string& key);
 
   /// Attach a trace recorder (before any transaction runs). The recorder
   /// must outlive the lock manager.
@@ -153,10 +201,28 @@ class LockManager {
  private:
   KeyState& GetKeyState(const std::string& key);
 
-  // Per-key commit/abort bodies shared by the OnCommit/OnAbort overloads.
-  void CommitKey(KeyState& ks, const TransactionId& txn,
-                 const TransactionId& parent);
-  void AbortKey(KeyState& ks, const TransactionId& txn);
+  // The single batched commit/abort implementation behind all four
+  // OnCommit/OnAbort overloads. `parent` is null for an abort; `key_of(i)`
+  // names the i-th key and `held_of(i)` returns its cached handle (or
+  // nullptr). Templated over the accessors so the string overloads adapt
+  // without materializing KeyHold copies. See the header comment for the
+  // three phases.
+  template <typename KeyOf, typename HeldOf>
+  void ReleaseBatch(const TransactionId& txn, const TransactionId* parent,
+                    size_t n, const KeyOf& key_of, const HeldOf& held_of);
+
+  // Batch-local bookkeeping accumulated while key mutexes are held and
+  // flushed once per batch (counters, lock-count deltas, pending
+  // wakeups deduped by KeyState).
+  struct ReleaseScratch;
+
+  // Per-key commit/abort bodies; caller holds ks.m. They mutate holder
+  // sets/versions, emit the INFORM_*_AT trace event, and record counter
+  // and wakeup intents in `scratch` — no locking, no notifying.
+  void CommitKeyLocked(KeyState& ks, const TransactionId& txn,
+                       const TransactionId& parent, ReleaseScratch& scratch);
+  void AbortKeyLocked(KeyState& ks, const TransactionId& txn,
+                      ReleaseScratch& scratch);
 
   // Full grant paths on an already-resolved key state.
   Result<std::optional<int64_t>> AcquireReadOn(KeyState& ks,
@@ -192,10 +258,10 @@ class LockManager {
   Status WaitForGrant(KeyState& ks, std::unique_lock<std::mutex>& lk,
                       const TransactionId& txn, bool exclusive);
 
-  // Per-transaction lock-count bookkeeping for kFewestLocksHeld victim
-  // selection; no-ops (a single branch) under every other policy.
+  // Grant-path lock-count bookkeeping for kFewestLocksHeld victim
+  // selection; a single branch under every other policy. Release-side
+  // counts go through the batch's one ApplyLockCountDeltas call.
   void NoteLockAcquired(const TransactionId& txn);
-  void NoteLockReleased(const TransactionId& txn);
 
   EngineOptions options_;
   EngineStats* stats_;
@@ -203,9 +269,6 @@ class LockManager {
   EngineTraceRecorder* recorder_ = nullptr;
 
   const bool track_lock_counts_;
-  mutable std::mutex lock_counts_mu_;
-  std::unordered_map<TransactionId, uint64_t, TransactionIdHash>
-      lock_counts_;
 
   struct Shard {
     std::mutex m;

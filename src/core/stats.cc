@@ -34,6 +34,8 @@ StatsSnapshot EngineStats::Snapshot() const {
   out.lock_timeouts = sums[kStatLockTimeouts];
   out.locks_inherited = sums[kStatLocksInherited];
   out.versions_discarded = sums[kStatVersionsDiscarded];
+  out.wakeups_issued = sums[kStatWakeupsIssued];
+  out.wakeups_coalesced = sums[kStatWakeupsCoalesced];
   return out;
 }
 
@@ -56,7 +58,9 @@ std::string StatsSnapshot::ToString() const {
       << " other=" << deadlock_victims_other << ")"
       << " timeouts=" << lock_timeouts
       << " inherited=" << locks_inherited
-      << " versions_discarded=" << versions_discarded << "}";
+      << " versions_discarded=" << versions_discarded
+      << " wakeups=" << wakeups_issued
+      << " (coalesced=" << wakeups_coalesced << ")}";
   return oss.str();
 }
 

@@ -28,6 +28,8 @@ enum StatCounter : int {
   kStatLockTimeouts,
   kStatLocksInherited,
   kStatVersionsDiscarded,
+  kStatWakeupsIssued,     // cv notify_all calls made by the release path
+  kStatWakeupsCoalesced,  // duplicate notify requests merged before issue
   kStatNumCounters,
 };
 
@@ -53,6 +55,8 @@ struct StatsSnapshot {
   uint64_t lock_timeouts = 0;
   uint64_t locks_inherited = 0;
   uint64_t versions_discarded = 0;
+  uint64_t wakeups_issued = 0;
+  uint64_t wakeups_coalesced = 0;
 
   std::string ToString() const;
 };

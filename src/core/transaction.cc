@@ -310,17 +310,20 @@ Result<std::unique_ptr<Transaction>> Transaction::BeginChild() {
       new Transaction(manager_, this, std::move(child_id)));
 }
 
-void Transaction::MergeKeysIntoParent() {
-  std::vector<LockManager::KeyHold> keys;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    keys.swap(keys_);
-  }
+void Transaction::MergeKeysIntoParent(
+    const std::vector<LockManager::KeyHold>& keys) {
   // Cached handles ride along: their KeyState pointers stay valid, and a
   // handle whose epoch/modes no longer fit the parent simply falls back
   // to the full grant path (see lock_manager.h on inherited handles).
   std::lock_guard<std::mutex> lock(parent_->mutex_);
   for (const LockManager::KeyHold& k : keys) InsertKey(parent_->keys_, k);
+}
+
+std::vector<LockManager::KeyHold> Transaction::TakeKeys() {
+  std::vector<LockManager::KeyHold> keys;
+  std::lock_guard<std::mutex> lock(mutex_);
+  keys.swap(keys_);
+  return keys;
 }
 
 Status Transaction::Commit() {
@@ -351,11 +354,7 @@ Status Transaction::Commit() {
   }
   if (parent_ == nullptr) {
     // Top-level commit: everything becomes the committed base.
-    std::vector<LockManager::KeyHold> keys;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      keys.swap(keys_);
-    }
+    const std::vector<LockManager::KeyHold> keys = TakeKeys();
     manager_->locks().OnCommit(id_, TransactionId::Root(), keys);
     if (rec != nullptr) rec->Emit(Event::ReportCommit(id_, my_aggregate));
     manager_->stats().Add(kStatTxnsCommitted);
@@ -364,19 +363,17 @@ Status Transaction::Commit() {
     return Status::OK();
   }
 
-  // Subtransaction commit.
+  // Subtransaction commit. The inventory is swapped out once and the
+  // same vector feeds both the batched release and the parent merge —
+  // no deep copy of the key strings on the commit path.
+  const std::vector<LockManager::KeyHold> keys = TakeKeys();
   if (mode == CcMode::kFlat2PL) {
     // Locks already belong to the top-level id; just hand the key
     // inventory up so the top-level release sees everything.
-    MergeKeysIntoParent();
+    MergeKeysIntoParent(keys);
   } else {
-    std::vector<LockManager::KeyHold> keys;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      keys = keys_;
-    }
     manager_->locks().OnCommit(id_, parent_->id_, keys);
-    MergeKeysIntoParent();
+    MergeKeysIntoParent(keys);
   }
   if (rec != nullptr) {
     rec->Emit(Event::ReportCommit(id_, my_aggregate));
@@ -409,18 +406,13 @@ Status Transaction::Abort() {
   }
   EngineTraceRecorder* rec = manager_->locks().trace_recorder();
   if (rec != nullptr) rec->Emit(Event::Abort(id_));
-  std::vector<LockManager::KeyHold> keys;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    keys.swap(keys_);
-  }
+  const std::vector<LockManager::KeyHold> keys = TakeKeys();
   if (mode == CcMode::kFlat2PL && parent_ != nullptr) {
     // No savepoints: a subtransaction abort cannot be undone in place, so
     // the whole top-level transaction is doomed. Its keys stay with the
     // top-level owner and are rolled back when the top aborts.
     TopLevel()->doomed_.store(true);
-    std::lock_guard<std::mutex> lock(parent_->mutex_);
-    for (const LockManager::KeyHold& k : keys) InsertKey(parent_->keys_, k);
+    MergeKeysIntoParent(keys);
   } else {
     manager_->locks().OnAbort(LockOwner(), keys);
   }

@@ -100,7 +100,12 @@ class Transaction {
   const TransactionId& LockOwner() const;
 
   Status CheckActive() const;
-  void MergeKeysIntoParent();
+  /// Swap out this transaction's key inventory (it becomes empty).
+  std::vector<LockManager::KeyHold> TakeKeys();
+  /// Sorted-merge `keys` into the parent's inventory (cached handles ride
+  /// along). The same taken vector serves the batched release first, so
+  /// the commit path never deep-copies the key strings.
+  void MergeKeysIntoParent(const std::vector<LockManager::KeyHold>& keys);
   Transaction* TopLevel();
 
   /// Register `key` in the key inventory, copy out any cached held-lock

@@ -214,4 +214,38 @@ std::vector<TransactionId> WaitGraph::WaitingOn(
   return it->second.holders;
 }
 
+void WaitGraph::NoteLockAcquired(const TransactionId& txn) {
+  std::lock_guard<std::mutex> lock(counts_mutex_);
+  ++lock_counts_[txn];
+}
+
+void WaitGraph::ApplyLockCountDeltas(
+    const std::vector<LockCountDelta>& deltas) {
+  std::lock_guard<std::mutex> lock(counts_mutex_);
+  for (const LockCountDelta& d : deltas) {
+    auto it = lock_counts_.find(d.first);
+    if (d.second > 0) {
+      if (it == lock_counts_.end()) {
+        lock_counts_.emplace(d.first, static_cast<uint64_t>(d.second));
+      } else {
+        it->second += static_cast<uint64_t>(d.second);
+      }
+      continue;
+    }
+    if (it == lock_counts_.end()) continue;
+    const uint64_t dec = static_cast<uint64_t>(-d.second);
+    if (it->second <= dec) {
+      lock_counts_.erase(it);
+    } else {
+      it->second -= dec;
+    }
+  }
+}
+
+uint64_t WaitGraph::LocksHeldBy(const TransactionId& txn) const {
+  std::lock_guard<std::mutex> lock(counts_mutex_);
+  auto it = lock_counts_.find(txn);
+  return it == lock_counts_.end() ? 0 : it->second;
+}
+
 }  // namespace nestedtx

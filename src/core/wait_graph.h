@@ -23,7 +23,9 @@
 #include <condition_variable>
 #include <map>
 #include <mutex>
+#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/options.h"
@@ -45,8 +47,12 @@ class WaitGraph {
     uint64_t locks_held = 0;
   };
 
-  /// A victim notification the caller must deliver: lock `*mutex`, then
-  /// `cv->notify_all()`. Delivered by the caller, not under the graph
+  /// A victim notification the caller must deliver: acquire and release
+  /// `*mutex`, then `cv->notify_all()` with no mutex held. Passing
+  /// through the mutex orders the delivery after the victim's
+  /// check-then-wait critical section (no lost wakeup); notifying after
+  /// dropping it means the woken victim never blocks on a mutex the
+  /// notifier still owns. Delivered by the caller, not under the graph
   /// mutex, so the graph never takes a key mutex (lock-order safety).
   struct Wakeup {
     std::mutex* mutex = nullptr;
@@ -91,6 +97,28 @@ class WaitGraph {
   /// Current outgoing edges of `waiter` (diagnostics/tests).
   std::vector<TransactionId> WaitingOn(const TransactionId& waiter) const;
 
+  // -------------------------------------------------------------------
+  // Per-transaction held-lock counts: the victim weight the
+  // kFewestLocksHeld policy consults. The index lives here (not in the
+  // lock manager) because the wait graph is its only consumer; it is
+  // maintained only when the lock manager enables it, so every other
+  // policy pays nothing. Counts are guarded by their own mutex so grant
+  // traffic never contends with cycle checks.
+  // -------------------------------------------------------------------
+
+  /// One grant for `txn` (lock-manager grant path).
+  void NoteLockAcquired(const TransactionId& txn);
+
+  /// Signed bulk count adjustment, one mutex round-trip for a whole
+  /// commit/abort batch: a transaction releasing K locks and passing J of
+  /// them to its parent is two deltas, not K+J per-key calls. Entries
+  /// dropping to (or below) zero are erased.
+  using LockCountDelta = std::pair<TransactionId, int64_t>;
+  void ApplyLockCountDeltas(const std::vector<LockCountDelta>& deltas);
+
+  /// Locks currently counted for `txn` (0 when tracking is off).
+  uint64_t LocksHeldBy(const TransactionId& txn) const;
+
  private:
   struct Node {
     std::vector<TransactionId> holders;  // sorted unique outgoing edges
@@ -126,6 +154,10 @@ class WaitGraph {
   mutable std::mutex mutex_;
   VictimPolicy policy_ = VictimPolicy::kRequester;
   NodeMap waiters_;  // lexicographic order == tree pre-order
+
+  mutable std::mutex counts_mutex_;
+  std::unordered_map<TransactionId, uint64_t, TransactionIdHash>
+      lock_counts_;
 };
 
 }  // namespace nestedtx

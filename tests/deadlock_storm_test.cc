@@ -243,6 +243,34 @@ TEST_F(DeadlockStormTest, FailpointStormGraphPolicy) {
   EXPECT_GT(FailPoints::InjectionCount(), 0u);
 }
 
+TEST_F(DeadlockStormTest, FailpointCommitReleaseStorm) {
+  // Hammer the batched release path specifically: only the commit/abort
+  // sites are armed, with an aggressive delay rate, so nearly every
+  // nested commit stretches its per-key inherit window while waiters are
+  // parked and the deferred notifies queue up behind it. A lost or
+  // misordered wakeup in the batch machinery shows up here as a hang or
+  // an atomicity violation.
+  FailPoints::Seed(0xBA7C4u);
+  FailPoints::Config release;
+  release.delay_one_in = 4;
+  release.delay_us = 50;
+  FailPoints::Enable(FailPoints::kCommitInherit, release);
+  FailPoints::Enable(FailPoints::kAbortPurge, release);
+
+  Database db(StormOptions(DeadlockPolicy::kWaitForGraph,
+                           VictimPolicy::kYoungestSubtree));
+  StormSpec spec;
+  spec.txns_per_thread = 60 * StressScale();
+  spec.nested = true;
+  spec.voluntary_abort_p = 0.2;  // aborted children exercise AbortKeyLocked
+  StormOutcome out = RunStorm(db, spec);
+  EXPECT_EQ(out.gave_up, 0u);
+  CheckDrained(db, spec, out);
+  const StatsSnapshot snap = db.stats().Snapshot();
+  EXPECT_GT(snap.wakeups_issued, 0u) << snap.ToString();
+  EXPECT_GT(FailPoints::InjectionCount(), 0u);
+}
+
 TEST_F(DeadlockStormTest, FailpointStormTimeoutPolicy) {
   FailPoints::Seed(0xF00Du);
   FailPoints::Config grant;

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "util/cleanup.h"
 #include "util/random.h"
 #include "util/strings.h"
 
@@ -54,6 +55,11 @@ std::optional<int64_t> Database::ReadCommitted(const std::string& key) {
 }
 
 Status Database::RunTransaction(int max_attempts, const TxnBody& body) {
+  // Managed top-level execution passes the admission gate (no-op unless
+  // configured); the slot spans all attempts so a retried transaction
+  // never re-queues behind fresh arrivals.
+  RETURN_IF_ERROR(manager_.AdmitTopLevel());
+  auto release = MakeCleanup([this] { manager_.ReleaseTopLevel(); });
   Status last = Status::Internal("no attempts made");
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     std::unique_ptr<Transaction> txn = Begin();

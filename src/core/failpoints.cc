@@ -1,8 +1,13 @@
 #include "core/failpoints.h"
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <mutex>
+#include <string>
 #include <thread>
+
+#include "util/strings.h"
 
 namespace nestedtx {
 
@@ -89,6 +94,119 @@ bool FailPoints::SpuriousSlow(Site site) {
     cfg = g_sites[site].config;
   }
   return Decide(site, cfg.spurious_wakeup_one_in, /*action_salt=*/2);
+}
+
+const char* FailPoints::SiteName(Site site) {
+  switch (site) {
+    case kLockGrant:
+      return "lock_grant";
+    case kWaitWakeup:
+      return "wait_wakeup";
+    case kCommitInherit:
+      return "commit_inherit";
+    case kAbortPurge:
+      return "abort_purge";
+    case kBeginTxn:
+      return "begin_txn";
+    case kRetryBackoff:
+      return "retry_backoff";
+    case kNumSites:
+      break;
+  }
+  return "?";
+}
+
+namespace {
+
+// "site" | "all" -> site list; empty on unknown name.
+std::vector<FailPoints::Site> SitesNamed(const std::string& name) {
+  std::vector<FailPoints::Site> out;
+  for (int s = 0; s < FailPoints::kNumSites; ++s) {
+    const auto site = static_cast<FailPoints::Site>(s);
+    if (name == "all" || name == FailPoints::SiteName(site)) {
+      out.push_back(site);
+    }
+  }
+  return out;
+}
+
+// "key=value" into a Config (or the shared seed); false on unknown key
+// or malformed value.
+bool ApplyParam(const std::string& param, FailPoints::Config* cfg,
+                bool* reseed, uint64_t* seed) {
+  const size_t eq = param.find('=');
+  if (eq == std::string::npos) return false;
+  const std::string key = param.substr(0, eq);
+  char* end = nullptr;
+  const unsigned long long value =
+      std::strtoull(param.c_str() + eq + 1, &end, 0);
+  if (end == nullptr || *end != '\0') return false;
+  if (key == "delay_one_in") {
+    cfg->delay_one_in = static_cast<uint32_t>(value);
+  } else if (key == "delay_us") {
+    cfg->delay_us = static_cast<uint32_t>(value);
+  } else if (key == "spurious_wakeup_one_in") {
+    cfg->spurious_wakeup_one_in = static_cast<uint32_t>(value);
+  } else if (key == "deadlock_one_in") {
+    cfg->deadlock_one_in = static_cast<uint32_t>(value);
+  } else if (key == "timeout_one_in") {
+    cfg->timeout_one_in = static_cast<uint32_t>(value);
+  } else if (key == "seed") {
+    *reseed = true;
+    *seed = value;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int FailPoints::EnableFromSpec(const std::string& spec) {
+  int armed = 0;
+  bool reseed = false;
+  uint64_t seed = 0;
+  for (const std::string& group : Split(spec, ';')) {
+    if (group.empty()) continue;
+    const size_t colon = group.find(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "failpoints: no ':' in group '%s', skipped\n",
+                   group.c_str());
+      continue;
+    }
+    const std::vector<Site> sites = SitesNamed(group.substr(0, colon));
+    if (sites.empty()) {
+      std::fprintf(stderr, "failpoints: unknown site in '%s', skipped\n",
+                   group.c_str());
+      continue;
+    }
+    Config cfg;
+    bool ok = true;
+    for (const std::string& param : Split(group.substr(colon + 1), ',')) {
+      if (param.empty()) continue;
+      if (!ApplyParam(param, &cfg, &reseed, &seed)) {
+        std::fprintf(stderr, "failpoints: bad param '%s', group skipped\n",
+                     param.c_str());
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    for (Site site : sites) {
+      Enable(site, cfg);
+      ++armed;
+    }
+  }
+  // Seed last: Enable() zeroes per-site hit counters, Seed() zeroes the
+  // injection tally too, so the armed storm starts from a clean stream.
+  if (reseed) Seed(seed);
+  return armed;
+}
+
+int FailPoints::EnableFromEnv() {
+  const char* env = std::getenv("NESTEDTX_FAILPOINTS");
+  if (env == nullptr || env[0] == '\0') return 0;
+  return EnableFromSpec(env);
 }
 
 Status FailPoints::FailSlow(Site site) {

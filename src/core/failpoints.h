@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 
 #include "util/status.h"
 
@@ -33,6 +34,8 @@ class FailPoints {
     kWaitWakeup,      // each wakeup inside the lock-wait loop
     kCommitInherit,   // inside the per-key commit (lock inheritance)
     kAbortPurge,      // inside the per-key abort (version discard)
+    kBeginTxn,        // transaction begin (BeginChild / retry-loop begin)
+    kRetryBackoff,    // RetryExecutor backoff between attempts
     kNumSites,
   };
 
@@ -49,6 +52,27 @@ class FailPoints {
   static void DisableAll();
   /// Reseed the decision stream and zero the hit counters.
   static void Seed(uint64_t seed);
+
+  /// Arm sites from the NESTEDTX_FAILPOINTS environment variable, so CI
+  /// chaos jobs can reconfigure a storm without recompiling. Grammar
+  /// (sites separated by ';', parameters by ','):
+  ///
+  ///   NESTEDTX_FAILPOINTS="lock_grant:deadlock_one_in=8,delay_one_in=16;
+  ///                        wait_wakeup:spurious_wakeup_one_in=4"
+  ///
+  /// Site names: lock_grant, wait_wakeup, commit_inherit, abort_purge,
+  /// begin_txn, retry_backoff, or `all` (every site gets the config).
+  /// Parameter keys are the Config fields. `seed=N` as a parameter of any
+  /// group reseeds the decision stream. Unknown names/keys are reported
+  /// on stderr and skipped. Returns the number of sites armed (0 when the
+  /// variable is unset or empty); already-armed sites are overwritten.
+  static int EnableFromEnv();
+  /// Parse one NESTEDTX_FAILPOINTS-grammar spec (testable core of
+  /// EnableFromEnv).
+  static int EnableFromSpec(const std::string& spec);
+
+  /// Canonical lowercase site name (the env-config vocabulary).
+  static const char* SiteName(Site site);
 
   static bool Armed(Site site) {
     return (armed_mask_.load(std::memory_order_relaxed) & (1u << site)) !=

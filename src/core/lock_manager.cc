@@ -107,6 +107,85 @@ std::vector<TransactionId> LockManager::ConflictsForTest(
   return Conflicts(ks, txn, exclusive);
 }
 
+void LockManager::DoomSubtree(const TransactionId& root) {
+  std::vector<KeyState*> to_wake;
+  {
+    std::lock_guard<std::mutex> lock(doom_mutex_);
+    if (std::find(doomed_roots_.begin(), doomed_roots_.end(), root) ==
+        doomed_roots_.end()) {
+      doomed_roots_.push_back(root);
+      doomed_count_.store(doomed_roots_.size(), std::memory_order_relaxed);
+    }
+    for (const ParkedWaiter& w : parked_waiters_) {
+      if (root.IsAncestorOf(w.txn) &&
+          std::find(to_wake.begin(), to_wake.end(), w.ks) == to_wake.end()) {
+        to_wake.push_back(w.ks);
+      }
+    }
+  }
+  // Mutex-pass + notify with no doom or key mutex held: passing through
+  // the key mutex orders the delivery after the (still-registered)
+  // waiter's check-then-wait critical section, so it is either already
+  // parked (the notify reaches it) or will re-check the doomed flag
+  // before parking. KeyStates are stable for the manager's lifetime, so
+  // a waiter unparking concurrently only makes a notify spurious.
+  for (KeyState* ks : to_wake) {
+    { std::lock_guard<std::mutex> key_lock(ks->m); }
+    ks->cv.notify_all();
+  }
+}
+
+void LockManager::ClearDoom(const TransactionId& root) {
+  if (doomed_count_.load(std::memory_order_relaxed) == 0) return;
+  std::lock_guard<std::mutex> lock(doom_mutex_);
+  doomed_roots_.erase(
+      std::remove(doomed_roots_.begin(), doomed_roots_.end(), root),
+      doomed_roots_.end());
+  doomed_count_.store(doomed_roots_.size(), std::memory_order_relaxed);
+}
+
+bool LockManager::IsDoomed(const TransactionId& txn) const {
+  if (doomed_count_.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard<std::mutex> lock(doom_mutex_);
+  for (const TransactionId& root : doomed_roots_) {
+    if (root.IsAncestorOf(txn)) return true;
+  }
+  return false;
+}
+
+size_t LockManager::DoomedRootCount() const {
+  std::lock_guard<std::mutex> lock(doom_mutex_);
+  return doomed_roots_.size();
+}
+
+size_t LockManager::ParkedWaiterCount() const {
+  std::lock_guard<std::mutex> lock(doom_mutex_);
+  return parked_waiters_.size();
+}
+
+bool LockManager::ParkWaiter(const TransactionId& txn, KeyState* ks) {
+  std::lock_guard<std::mutex> lock(doom_mutex_);
+  if (doomed_count_.load(std::memory_order_relaxed) != 0) {
+    for (const TransactionId& root : doomed_roots_) {
+      if (root.IsAncestorOf(txn)) return true;
+    }
+  }
+  parked_waiters_.push_back(ParkedWaiter{txn, ks});
+  return false;
+}
+
+void LockManager::UnparkWaiter(const TransactionId& txn,
+                               const KeyState* ks) {
+  std::lock_guard<std::mutex> lock(doom_mutex_);
+  for (size_t i = 0; i < parked_waiters_.size(); ++i) {
+    if (parked_waiters_[i].ks == ks && parked_waiters_[i].txn == txn) {
+      parked_waiters_[i] = std::move(parked_waiters_.back());
+      parked_waiters_.pop_back();
+      return;
+    }
+  }
+}
+
 Status LockManager::WaitForGrant(KeyState& ks,
                                  std::unique_lock<std::mutex>& lk,
                                  const TransactionId& txn, bool exclusive) {
@@ -116,12 +195,15 @@ Status LockManager::WaitForGrant(KeyState& ks,
       options_.deadlock_policy == DeadlockPolicy::kWaitForGraph;
   bool waited = false;
   bool registered = false;
-  // Every exit — grant, deadlock, timeout, injected fault — must clear
-  // the wait-graph entry. A return that skips RemoveWait leaves a stale
-  // edge behind, and stale edges make unrelated transactions see phantom
-  // cycles (and spuriously deadlock) forever after.
+  bool parked = false;
+  // Every exit — grant, deadlock, timeout, cancellation, injected fault —
+  // must clear the wait-graph entry and the park-table entry. A return
+  // that skips RemoveWait leaves a stale edge behind, and stale edges
+  // make unrelated transactions see phantom cycles (and spuriously
+  // deadlock) forever after.
   auto unregister = MakeCleanup([&] {
     if (registered) wait_graph_.RemoveWait(txn);
+    if (parked) UnparkWaiter(txn, &ks);
   });
   std::vector<WaitGraph::Wakeup> wakeups;
   for (;;) {
@@ -133,6 +215,18 @@ Status LockManager::WaitForGrant(KeyState& ks,
       stats_->Add2(kStatDeadlocks, kStatDeadlockVictimOther);
       return Status::Deadlock(
           StrCat(txn, " chosen as deadlock victim while waiting"));
+    }
+    // Orphan check on every pass: an ancestor abort dooms this subtree
+    // mid-wait, and the doom's wakeup lands here — return Cancelled
+    // instead of re-parking for the rest of the lock timeout. (Checked
+    // again atomically with park registration below; this covers the
+    // already-parked wakeups, where the park-table entry guarantees the
+    // doom notified our cv.)
+    if (IsDoomed(txn)) {
+      if (waited) stats_->Add(kStatWaitsCancelled);
+      return Status::Cancelled(
+          StrCat(txn, " cancelled while waiting (subtree doomed by "
+                      "ancestor abort)"));
     }
     std::vector<TransactionId> conflicts = Conflicts(ks, txn, exclusive);
     if (conflicts.empty()) return Status::OK();
@@ -183,6 +277,20 @@ Status LockManager::WaitForGrant(KeyState& ks,
     if (!waited) {
       waited = true;
       stats_->Add(kStatLockWaits);
+    }
+    if (!parked) {
+      // First park on this key: enter the cancellation park table. The
+      // registration re-checks the doomed roots under the same mutex, so
+      // a concurrent DoomSubtree either sees this entry (and notifies
+      // our cv through a ks.m mutex-pass) or we see its root here and
+      // never park — the one ordering the loop-top check cannot close.
+      if (ParkWaiter(txn, &ks)) {
+        stats_->Add(kStatWaitsCancelled);
+        return Status::Cancelled(
+            StrCat(txn, " cancelled before parking (subtree doomed by "
+                        "ancestor abort)"));
+      }
+      parked = true;
     }
     // A failpoint may truncate this wait: the waiter comes back early and
     // re-evaluates, exactly the spurious-wakeup schedule a condition

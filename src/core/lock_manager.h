@@ -68,6 +68,7 @@
 #ifndef NESTEDTX_CORE_LOCK_MANAGER_H_
 #define NESTEDTX_CORE_LOCK_MANAGER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <memory>
@@ -161,6 +162,24 @@ class LockManager {
   void OnAbort(const TransactionId& txn,
                const std::vector<std::string>& keys);
   void OnAbort(const TransactionId& txn, const std::vector<KeyHold>& keys);
+
+  /// Orphan cancellation (the paper's orphan notion made operational:
+  /// descendants of an aborting ancestor get no Theorem 34 guarantee, so
+  /// stop spending resources on them). Dooming a subtree root makes
+  /// IsDoomed true for the whole subtree, and wakes every parked waiter
+  /// in it so WaitForGrant returns Status::Cancelled instead of sleeping
+  /// out the lock timeout. The registry holds roots, not members: a
+  /// retried subtree gets fresh transaction ids, which no stale root can
+  /// match. Idempotent; cleared by the root's abort (ClearDoom).
+  void DoomSubtree(const TransactionId& root);
+  void ClearDoom(const TransactionId& root);
+  /// True iff `txn` is (a descendant of) a doomed root. One relaxed
+  /// atomic load when nothing is doomed — safe on the per-op hot path.
+  bool IsDoomed(const TransactionId& txn) const;
+  /// Drain diagnostics: entries still in the doom registry / park table.
+  /// A quiesced engine must report 0 for both (chaos tests assert it).
+  size_t DoomedRootCount() const;
+  size_t ParkedWaiterCount() const;
 
   /// Non-transactional access to the committed base (preload/verify).
   void SetBase(const std::string& key, std::optional<int64_t> value);
@@ -263,6 +282,14 @@ class LockManager {
   // counts go through the batch's one ApplyLockCountDeltas call.
   void NoteLockAcquired(const TransactionId& txn);
 
+  // Park-table handshake for cancellation wakeups. Registration checks
+  // the doomed roots atomically (same mutex), so a doom either sees the
+  // parked entry and notifies its key, or the parker sees the root and
+  // never parks — no lost-cancellation window. Returns true when the
+  // waiter is already doomed (and was NOT registered).
+  bool ParkWaiter(const TransactionId& txn, KeyState* ks);
+  void UnparkWaiter(const TransactionId& txn, const KeyState* ks);
+
   EngineOptions options_;
   EngineStats* stats_;
   WaitGraph wait_graph_;
@@ -275,6 +302,22 @@ class LockManager {
     std::unordered_map<std::string, std::unique_ptr<KeyState>> keys;
   };
   std::vector<Shard> shards_;
+
+  // Orphan-cancellation state: the doomed subtree roots and the parked
+  // waiters a doom must wake, both under one mutex (the atomicity is the
+  // no-lost-cancellation argument — see ParkWaiter). doomed_count_
+  // mirrors doomed_roots_.size() so IsDoomed is one relaxed load in the
+  // common nothing-doomed case. Lock order: a waiter registers while
+  // holding its key mutex (ks.m -> doom_mutex_); DoomSubtree never holds
+  // doom_mutex_ while taking a key mutex.
+  struct ParkedWaiter {
+    TransactionId txn;
+    KeyState* ks;
+  };
+  mutable std::mutex doom_mutex_;
+  std::vector<TransactionId> doomed_roots_;
+  std::vector<ParkedWaiter> parked_waiters_;
+  std::atomic<size_t> doomed_count_{0};
 };
 
 }  // namespace nestedtx

@@ -72,6 +72,17 @@ struct EngineOptions {
   std::chrono::milliseconds lock_timeout{2000};
   /// Number of lock-table shards (power of two).
   size_t lock_table_shards = 64;
+  /// Admission control on gated top-level execution (Database::
+  /// RunTransaction and RetryExecutor::Run — raw Begin() is never gated):
+  /// at most this many top-level transactions are admitted concurrently;
+  /// 0 disables the gate. A retrying transaction keeps its slot across
+  /// attempts, so retry storms re-run admitted work instead of piling new
+  /// arrivals onto an already saturated engine.
+  uint32_t admission_max_inflight = 0;
+  /// Arrivals allowed to queue at a full gate; beyond this, new arrivals
+  /// are shed immediately with Status::Overloaded (load-shedding keeps
+  /// the queue — and tail latency — bounded when the engine is saturated).
+  uint32_t admission_max_queued = 0;
 };
 
 }  // namespace nestedtx

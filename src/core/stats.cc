@@ -36,6 +36,10 @@ StatsSnapshot EngineStats::Snapshot() const {
   out.versions_discarded = sums[kStatVersionsDiscarded];
   out.wakeups_issued = sums[kStatWakeupsIssued];
   out.wakeups_coalesced = sums[kStatWakeupsCoalesced];
+  out.waits_cancelled = sums[kStatWaitsCancelled];
+  out.retries_attempted = sums[kStatRetriesAttempted];
+  out.retries_exhausted = sums[kStatRetriesExhausted];
+  out.admission_rejected = sums[kStatAdmissionRejected];
   return out;
 }
 
@@ -60,7 +64,11 @@ std::string StatsSnapshot::ToString() const {
       << " inherited=" << locks_inherited
       << " versions_discarded=" << versions_discarded
       << " wakeups=" << wakeups_issued
-      << " (coalesced=" << wakeups_coalesced << ")}";
+      << " (coalesced=" << wakeups_coalesced << ")"
+      << " waits_cancelled=" << waits_cancelled << "}"
+      << " retry{attempted=" << retries_attempted
+      << " exhausted=" << retries_exhausted
+      << " admission_rejected=" << admission_rejected << "}";
   return oss.str();
 }
 

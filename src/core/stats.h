@@ -30,6 +30,10 @@ enum StatCounter : int {
   kStatVersionsDiscarded,
   kStatWakeupsIssued,     // cv notify_all calls made by the release path
   kStatWakeupsCoalesced,  // duplicate notify requests merged before issue
+  kStatWaitsCancelled,    // lock waits ended by orphan cancellation
+  kStatRetriesAttempted,  // RetryExecutor re-runs after a failed attempt
+  kStatRetriesExhausted,  // retry loops that gave up (budget/attempts)
+  kStatAdmissionRejected,  // top-level begins shed by the admission gate
   kStatNumCounters,
 };
 
@@ -57,6 +61,10 @@ struct StatsSnapshot {
   uint64_t versions_discarded = 0;
   uint64_t wakeups_issued = 0;
   uint64_t wakeups_coalesced = 0;
+  uint64_t waits_cancelled = 0;
+  uint64_t retries_attempted = 0;
+  uint64_t retries_exhausted = 0;
+  uint64_t admission_rejected = 0;
 
   std::string ToString() const;
 };

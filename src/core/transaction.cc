@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/failpoints.h"
 #include "serial/data_type.h"
 #include "util/strings.h"
 
@@ -100,8 +101,14 @@ Status Transaction::CheckActive() const {
     return Status::Aborted(
         StrCat(id_, " is doomed (flat-mode subtransaction abort)"));
   }
+  if (manager_->locks().IsDoomed(id_)) {
+    return Status::Cancelled(
+        StrCat(id_, " is orphaned (ancestor abort/cancel in progress)"));
+  }
   return Status::OK();
 }
+
+void Transaction::Cancel() { manager_->locks().DoomSubtree(id_); }
 
 const AccessTraceInfo* Transaction::PrepareAccess(
     const std::string& key, uint32_t op_code, Value op_arg,
@@ -296,6 +303,8 @@ Status Transaction::Delete(const std::string& key) {
 
 Result<std::unique_ptr<Transaction>> Transaction::BeginChild() {
   RETURN_IF_ERROR(CheckActive());
+  RETURN_IF_ERROR(FailPoints::MaybeFail(FailPoints::kBeginTxn));
+  FailPoints::MaybeDelay(FailPoints::kBeginTxn);
   TransactionId child_id;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -418,6 +427,11 @@ Status Transaction::Abort() {
   }
   if (rec != nullptr) rec->Emit(Event::ReportAbort(id_));
   manager_->stats().Add(kStatTxnsAborted);
+  // The abort Cancel() announced has now happened: lift the doom so the
+  // id space is clean. A retried subtree runs under fresh child ids, so
+  // even a doom cleared late could never match the new attempt; clearing
+  // here keeps the registry from accumulating dead roots.
+  manager_->locks().ClearDoom(id_);
   if (parent_ == nullptr) {
     manager_->stats().Add(kStatTopLevelAborted);
     if (mode == CcMode::kSerial) manager_->ReleaseSerialGate();
@@ -442,6 +456,37 @@ void TransactionManager::ReleaseSerialGate() {
     gate_busy_ = false;
   }
   gate_cv_.notify_one();
+}
+
+Status TransactionManager::AdmitTopLevel() {
+  if (options_.admission_max_inflight == 0) return Status::OK();
+  std::unique_lock<std::mutex> lk(admit_mutex_);
+  if (admitted_ < options_.admission_max_inflight) {
+    ++admitted_;
+    return Status::OK();
+  }
+  if (admit_queued_ >= options_.admission_max_queued) {
+    stats_.Add(kStatAdmissionRejected);
+    return Status::Overloaded(
+        StrCat("admission gate full (", admitted_, " in flight, ",
+               admit_queued_, " queued)"));
+  }
+  ++admit_queued_;
+  admit_cv_.wait(lk, [&] {
+    return admitted_ < options_.admission_max_inflight;
+  });
+  --admit_queued_;
+  ++admitted_;
+  return Status::OK();
+}
+
+void TransactionManager::ReleaseTopLevel() {
+  if (options_.admission_max_inflight == 0) return;
+  {
+    std::lock_guard<std::mutex> lk(admit_mutex_);
+    --admitted_;
+  }
+  admit_cv_.notify_one();
 }
 
 std::unique_ptr<Transaction> TransactionManager::Begin() {

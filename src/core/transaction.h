@@ -81,10 +81,25 @@ class Transaction {
 
   /// Abort: this subtree's effects are discarded. Under kFlat2PL a child
   /// abort also dooms the whole top-level transaction (no savepoints).
+  /// Clears any cancellation (Cancel) pending on this transaction's id.
   Status Abort();
+
+  /// Orphan cancellation: mark this subtree doomed ahead of an abort.
+  /// Every descendant's (and this transaction's) next engine call fails
+  /// with Status::Cancelled, and descendants parked in lock waits wake
+  /// immediately with Status::Cancelled instead of sleeping out the lock
+  /// timeout — the paper's orphan notion made operational: once an
+  /// ancestor's abort is decided, Theorem 34 makes no promise to the
+  /// subtree, so stop spending locks and time on it. Callable from any
+  /// thread, idempotent. The doom lifts when this transaction aborts
+  /// (a retry then runs under fresh ids, which the stale doom cannot
+  /// match). Only Abort() is permitted afterwards.
+  void Cancel();
 
   const TransactionId& id() const { return id_; }
   bool returned() const { return returned_.load(); }
+  /// Children begun and not yet returned (diagnostic; racy by nature).
+  int active_children() const { return active_children_.load(); }
   /// True if a flat-mode subtransaction abort doomed this transaction
   /// tree; all further operations fail and only Abort() is permitted.
   bool doomed() const;
@@ -169,6 +184,16 @@ class TransactionManager {
   EngineStats& stats() { return stats_; }
   LockManager& locks() { return locks_; }
 
+  /// Admission gate for managed top-level execution (RunTransaction /
+  /// RetryExecutor::Run; raw Begin() is never gated). Returns OK with a
+  /// slot held (release with ReleaseTopLevel), blocks while the queue
+  /// has room, or sheds with Status::Overloaded once in-flight plus
+  /// queued top-levels exceed the configured bounds — so retry storms
+  /// degrade goodput gracefully instead of collapsing it. No-op (always
+  /// OK) when admission_max_inflight is 0.
+  Status AdmitTopLevel();
+  void ReleaseTopLevel();
+
  private:
   friend class Transaction;
 
@@ -186,6 +211,12 @@ class TransactionManager {
   std::mutex gate_mutex_;
   std::condition_variable gate_cv_;
   bool gate_busy_ = false;
+
+  // Admission gate (see AdmitTopLevel).
+  std::mutex admit_mutex_;
+  std::condition_variable admit_cv_;
+  uint32_t admitted_ = 0;
+  uint32_t admit_queued_ = 0;
 };
 
 }  // namespace nestedtx

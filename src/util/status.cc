@@ -23,6 +23,10 @@ const char* CodeName(Status::Code code) {
       return "Busy";
     case Status::Code::kTimedOut:
       return "TimedOut";
+    case Status::Code::kCancelled:
+      return "Cancelled";
+    case Status::Code::kOverloaded:
+      return "Overloaded";
     case Status::Code::kInternal:
       return "Internal";
   }

@@ -17,7 +17,11 @@ namespace nestedtx {
 /// actually produces: `kAborted` for transactions killed by the system
 /// (deadlock victims, orphaned subtrees), `kDeadlock` when the caller is the
 /// chosen victim of a wait-for cycle, `kBusy` for non-blocking lock attempts
-/// that would conflict, `kTimedOut` for bounded waits.
+/// that would conflict, `kTimedOut` for bounded waits, `kCancelled` for
+/// operations of an orphaned subtree (an ancestor abort is in progress, so
+/// Theorem 34 makes no promise to this transaction and the engine stops
+/// spending resources on it), `kOverloaded` for top-level work shed by the
+/// admission gate.
 class Status {
  public:
   enum class Code {
@@ -30,6 +34,8 @@ class Status {
     kDeadlock,
     kBusy,
     kTimedOut,
+    kCancelled,
+    kOverloaded,
     kInternal,
   };
 
@@ -61,6 +67,12 @@ class Status {
   static Status TimedOut(std::string msg) {
     return Status(Code::kTimedOut, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(Code::kOverloaded, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
@@ -76,6 +88,8 @@ class Status {
   bool IsDeadlock() const { return code_ == Code::kDeadlock; }
   bool IsBusy() const { return code_ == Code::kBusy; }
   bool IsTimedOut() const { return code_ == Code::kTimedOut; }
+  bool IsCancelled() const { return code_ == Code::kCancelled; }
+  bool IsOverloaded() const { return code_ == Code::kOverloaded; }
   bool IsInternal() const { return code_ == Code::kInternal; }
 
   Code code() const { return code_; }

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "util/strings.h"
+
 namespace nestedtx {
 namespace bench {
 
@@ -49,7 +51,10 @@ class JsonResultFile {
   class Entry {
    public:
     Entry& Str(const char* k, const std::string& v) {
-      fields_.push_back(std::string("\"") + k + "\": \"" + v + "\"");
+      // Both sides escaped: a config name with a quote, backslash or
+      // control character must not corrupt the whole results file.
+      fields_.push_back("\"" + JsonEscape(k) + "\": \"" + JsonEscape(v) +
+                        "\"");
       return *this;
     }
     Entry& Num(const char* k, double v) {

@@ -41,6 +41,12 @@ struct WorkloadConfig {
   double duration_seconds = 0.4;
   int max_attempts = 50;
   std::chrono::milliseconds lock_timeout{200};
+  /// Observability knobs, passed through to EngineOptions. Defaults match
+  /// the engine's (metrics on, spans off) so every existing bench
+  /// measures what production would run; bench_observability (E13) sweeps
+  /// them to price the instrumentation itself.
+  bool metrics_enabled = true;
+  uint32_t span_sample_one_in = 0;
 };
 
 struct WorkloadResult {
@@ -52,6 +58,11 @@ struct WorkloadResult {
   uint64_t lock_waits = 0;
   uint64_t deadlocks = 0;
   uint64_t timeouts = 0;
+  // Engine latency histograms at the end of the run (all-zero when the
+  // workload ran with metrics_enabled = false).
+  HistogramSnapshot lock_wait_hist;
+  HistogramSnapshot txn_hist;
+  HistogramSnapshot commit_release_hist;
 
   double TxnPerSec() const { return seconds > 0 ? committed / seconds : 0; }
   double OpsPerSec() const { return seconds > 0 ? ops / seconds : 0; }
@@ -152,6 +163,8 @@ inline WorkloadResult RunWorkload(const WorkloadConfig& raw_cfg) {
   EngineOptions options;
   options.cc_mode = cfg.mode;
   options.lock_timeout = cfg.lock_timeout;
+  options.metrics_enabled = cfg.metrics_enabled;
+  options.span_sample_one_in = cfg.span_sample_one_in;
   Database db(options);
   std::vector<std::string> keys;
   keys.reserve(cfg.num_keys);
@@ -208,14 +221,21 @@ inline WorkloadResult RunWorkload(const WorkloadConfig& raw_cfg) {
   result.lock_waits = stats.lock_waits;
   result.deadlocks = stats.deadlocks;
   result.timeouts = stats.lock_timeouts;
+  MetricsRegistry& metrics = db.metrics();
+  result.lock_wait_hist = metrics.SnapshotHistogram(kHistLockWaitNs);
+  result.txn_hist = metrics.SnapshotHistogram(kHistTxnNs);
+  result.commit_release_hist =
+      metrics.SnapshotHistogram(kHistCommitReleaseNs);
   return result;
 }
 
 /// Record one workload run (config + results) as a BENCH_*.json entry.
-inline void AddWorkloadEntry(JsonResultFile& out, const std::string& name,
-                             const WorkloadConfig& cfg,
-                             const WorkloadResult& r) {
-  out.Add(name)
+/// Returns the entry so callers can chain experiment-specific fields.
+inline JsonResultFile::Entry& AddWorkloadEntry(JsonResultFile& out,
+                                               const std::string& name,
+                                               const WorkloadConfig& cfg,
+                                               const WorkloadResult& r) {
+  return out.Add(name)
       .Str("mode", CcModeName(cfg.mode))
       .Int("threads", cfg.threads)
       .Int("num_keys", cfg.num_keys)
@@ -233,7 +253,17 @@ inline void AddWorkloadEntry(JsonResultFile& out, const std::string& name,
       .Int("failed", r.failed)
       .Int("lock_waits", r.lock_waits)
       .Int("deadlocks", r.deadlocks)
-      .Int("timeouts", r.timeouts);
+      .Int("timeouts", r.timeouts)
+      // Latency histogram digests (log2-bucket upper bounds, so p-values
+      // are conservative; 0 when the histogram recorded nothing).
+      .Int("txn_p50_ns", r.txn_hist.Percentile(0.50))
+      .Int("txn_p99_ns", r.txn_hist.Percentile(0.99))
+      .Num("txn_mean_ns", r.txn_hist.MeanNs())
+      .Int("lock_wait_count", r.lock_wait_hist.count)
+      .Int("lock_wait_p50_ns", r.lock_wait_hist.Percentile(0.50))
+      .Int("lock_wait_p99_ns", r.lock_wait_hist.Percentile(0.99))
+      .Int("commit_release_p50_ns", r.commit_release_hist.Percentile(0.50))
+      .Int("commit_release_p99_ns", r.commit_release_hist.Percentile(0.99));
 }
 
 }  // namespace bench

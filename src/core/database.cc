@@ -54,6 +54,20 @@ std::optional<int64_t> Database::ReadCommitted(const std::string& key) {
   return manager_.locks().ReadBase(key);
 }
 
+std::string Database::ExportMetricsText() {
+  MetricsRegistry& metrics = manager_.metrics();
+  return metrics.ExportText(
+      manager_.stats().Snapshot(),
+      manager_.locks().CollectHotKeys(metrics.hot_key_top_k()));
+}
+
+std::string Database::ExportMetricsJson() {
+  MetricsRegistry& metrics = manager_.metrics();
+  return metrics.ExportJson(
+      manager_.stats().Snapshot(),
+      manager_.locks().CollectHotKeys(metrics.hot_key_top_k()));
+}
+
 Status Database::RunTransaction(int max_attempts, const TxnBody& body) {
   // Managed top-level execution passes the admission gate (no-op unless
   // configured); the slot spans all attempts so a retried transaction

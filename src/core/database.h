@@ -62,6 +62,16 @@ class Database {
   EngineStats& stats() { return manager_.stats(); }
   const EngineOptions& options() const { return manager_.options(); }
   TransactionManager& manager() { return manager_; }
+  MetricsRegistry& metrics() { return manager_.metrics(); }
+
+  /// Everything the engine knows about itself, Prometheus text format:
+  /// all counters, all latency histograms, the hot-key table, span-log
+  /// totals. Safe to call while transactions run (monitoring-grade).
+  std::string ExportMetricsText();
+
+  /// The same data as one JSON document (plus the most recent sampled
+  /// spans). Valid JSON no matter what bytes appear in keys.
+  std::string ExportMetricsJson();
 
  private:
   static bool Retryable(const Status& s) {

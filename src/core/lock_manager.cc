@@ -35,11 +35,17 @@ struct LockManager::KeyState {
   // releaser either sees it parked or sees the post-release state it
   // re-checks against.
   uint32_t waiters = 0;
+  // Contention profile, maintained under m at WaitForGrant exit (every
+  // exit path holds m). CollectHotKeys ranks keys by wait_ns on export.
+  uint64_t wait_count = 0;
+  uint64_t wait_ns = 0;
 };
 
-LockManager::LockManager(const EngineOptions& options, EngineStats* stats)
+LockManager::LockManager(const EngineOptions& options, EngineStats* stats,
+                         MetricsRegistry* metrics)
     : options_(options),
       stats_(stats),
+      metrics_(metrics),
       track_lock_counts_(
           options.deadlock_policy == DeadlockPolicy::kWaitForGraph &&
           options.victim_policy == VictimPolicy::kFewestLocksHeld),
@@ -205,6 +211,23 @@ Status LockManager::WaitForGrant(KeyState& ks,
     if (registered) wait_graph_.RemoveWait(txn);
     if (parked) UnparkWaiter(txn, &ks);
   });
+  // Wait-latency accounting, armed only once this request actually
+  // parks (wait_start_ns below) so the no-conflict grant path never
+  // reads the clock. Every exit — grant, deadlock, timeout,
+  // cancellation, injected fault — holds ks.m, so the per-key counters
+  // need no extra locking; the thread-local counters feed the sampled
+  // span of the transaction driving this (synchronous) call.
+  uint64_t wait_start_ns = 0;
+  auto record_wait = MakeCleanup([&] {
+    if (!waited) return;
+    const uint64_t elapsed = MonotonicNowNs() - wait_start_ns;
+    ++ks.wait_count;
+    ks.wait_ns += elapsed;
+    ThreadWaitCounters& acct = ThreadWaitAccounting();
+    acct.ns += elapsed;
+    ++acct.count;
+    if (metrics_ != nullptr) metrics_->Record(kHistLockWaitNs, elapsed);
+  });
   std::vector<WaitGraph::Wakeup> wakeups;
   for (;;) {
     // Another transaction's cycle check may have picked us as the victim
@@ -276,6 +299,7 @@ Status LockManager::WaitForGrant(KeyState& ks,
     }
     if (!waited) {
       waited = true;
+      wait_start_ns = MonotonicNowNs();
       stats_->Add(kStatLockWaits);
     }
     if (!parked) {
@@ -305,14 +329,38 @@ Status LockManager::WaitForGrant(KeyState& ks,
     const bool timed_out =
         ks.cv.wait_until(lk, this_deadline) == std::cv_status::timeout;
     --ks.waiters;
+    // Stretches the wake-to-classify window; in the wild the race below
+    // is microseconds wide, with the delay armed a regression test can
+    // land a doom or victim mark inside it deterministically.
+    FailPoints::MaybeDelay(FailPoints::kWaitWakeup);
     if (timed_out && std::chrono::steady_clock::now() >= deadline) {
-      // One final re-check under the lock before declaring timeout.
+      // The deadline tripped, but wait_until timing out says nothing
+      // about WHY we should return: a grant, a victim mark or a subtree
+      // doom may have landed just as the timer expired (their state
+      // changes are published under mutexes we do not hold while
+      // parked). Classifying by the cv result alone misreports those
+      // wakes as Timeout — the caller then retries a transaction that
+      // was in fact cancelled, and the outcome lands on the wrong
+      // counter. Re-check the definitive state in the loop-top
+      // precedence order (victim > doomed > granted > timed out) so
+      // every wake resolves to exactly one outcome and one counter.
+      if (registered && wait_graph_.TakeVictim(txn)) {
+        registered = false;  // TakeVictim consumed the entry
+        stats_->Add2(kStatDeadlocks, kStatDeadlockVictimOther);
+        return Status::Deadlock(
+            StrCat(txn, " chosen as deadlock victim while waiting"));
+      }
+      if (IsDoomed(txn)) {
+        stats_->Add(kStatWaitsCancelled);
+        return Status::Cancelled(
+            StrCat(txn, " cancelled while waiting (subtree doomed by "
+                        "ancestor abort)"));
+      }
       if (Conflicts(ks, txn, exclusive).empty()) return Status::OK();
       stats_->Add(kStatLockTimeouts);
       return Status::TimedOut(
           StrCat(txn, " timed out waiting for lock on key"));
     }
-    FailPoints::MaybeDelay(FailPoints::kWaitWakeup);
     RETURN_IF_ERROR(FailPoints::MaybeFail(FailPoints::kWaitWakeup));
   }
 }
@@ -693,6 +741,30 @@ void LockManager::OnAbort(const TransactionId& txn,
       txn, nullptr, keys.size(),
       [&](size_t i) -> const std::string& { return keys[i].key; },
       [&](size_t i) { return &keys[i].held; });
+}
+
+std::vector<HotKey> LockManager::CollectHotKeys(size_t k) {
+  std::vector<HotKey> out;
+  if (k == 0) return out;
+  // KeyStates are stable for the manager's lifetime, so collect the
+  // pointers per shard first and read each key's counters under its own
+  // mutex afterwards — no shard mutex is ever held across a key mutex.
+  std::vector<KeyState*> states;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard.m);
+    for (const auto& [key, ks] : shard.keys) states.push_back(ks.get());
+  }
+  for (KeyState* ks : states) {
+    std::lock_guard<std::mutex> key_lock(ks->m);
+    if (ks->wait_count == 0) continue;
+    out.push_back(HotKey{ks->key, ks->wait_count, ks->wait_ns});
+  }
+  std::sort(out.begin(), out.end(), [](const HotKey& a, const HotKey& b) {
+    if (a.wait_ns != b.wait_ns) return a.wait_ns > b.wait_ns;
+    return a.key < b.key;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
 }
 
 void LockManager::SetBase(const std::string& key,

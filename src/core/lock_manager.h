@@ -78,6 +78,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/metrics.h"
 #include "core/options.h"
 #include "core/stats.h"
 #include "core/trace_recorder.h"
@@ -102,7 +103,10 @@ class LockManager {
     bool write = false;  // owner was in the write-holder set
   };
 
-  LockManager(const EngineOptions& options, EngineStats* stats);
+  /// `metrics` may be null (tests and benches that construct the manager
+  /// directly): all instrumentation is skipped, not just disabled.
+  LockManager(const EngineOptions& options, EngineStats* stats,
+              MetricsRegistry* metrics = nullptr);
   ~LockManager();
 
   /// Acquire a read lock on `key` for `txn` (blocking) and return the
@@ -186,6 +190,12 @@ class LockManager {
   std::optional<int64_t> ReadBase(const std::string& key);
 
   WaitGraph& wait_graph() { return wait_graph_; }
+
+  /// Contention profiler: the `k` keys with the highest cumulative
+  /// lock-wait time (ties broken by key), from per-key counters the wait
+  /// path maintains under the key mutex. Scans the whole key table —
+  /// export-time cost, not hot-path cost.
+  std::vector<HotKey> CollectHotKeys(size_t k);
 
   /// Test hook: the conflict set Conflicts() would hand the wait graph
   /// for this request (exposes the holder-dedupe contract).
@@ -292,6 +302,7 @@ class LockManager {
 
   EngineOptions options_;
   EngineStats* stats_;
+  MetricsRegistry* metrics_;  // may be null; see constructor
   WaitGraph wait_graph_;
   EngineTraceRecorder* recorder_ = nullptr;
 

@@ -83,6 +83,25 @@ struct EngineOptions {
   /// are shed immediately with Status::Overloaded (load-shedding keeps
   /// the queue — and tail latency — bounded when the engine is saturated).
   uint32_t admission_max_queued = 0;
+  /// Master switch for the observability layer's latency histograms and
+  /// per-key contention profiling. When false the instrumentation costs
+  /// one predictable branch per choke point (no clock reads, no
+  /// recording); when true, each lock wait, release batch, retry backoff
+  /// and top-level transaction records into a striped log2 histogram
+  /// (see core/metrics.h). Always-on by design, like EngineStats.
+  bool metrics_enabled = true;
+  /// Per-transaction span sampling: every N-th transaction (top-level or
+  /// nested) gets a TxnSpan record in the bounded span ring. 0 disables
+  /// span collection entirely; 1 samples every transaction. Sampling
+  /// bounds both the per-txn stamping cost and the ring's churn.
+  uint32_t span_sample_one_in = 0;
+  /// Capacity of the span ring (bounded memory: older spans are
+  /// overwritten once the ring wraps; SpanLog::total_recorded() minus
+  /// the ring size tells an exporter how many were dropped).
+  uint32_t span_ring_capacity = 1024;
+  /// How many hot keys (by cumulative wait-ns) the contention profiler
+  /// reports from ExportText()/ExportJson().
+  uint32_t hot_key_top_k = 10;
 };
 
 }  // namespace nestedtx

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "core/failpoints.h"
+#include "core/metrics.h"
 #include "util/cleanup.h"
 #include "util/random.h"
 #include "util/strings.h"
@@ -42,7 +43,14 @@ Status RetryExecutor::Backoff(const TransactionId& scope, int attempt) {
   const Status injected = FailPoints::MaybeFail(FailPoints::kRetryBackoff);
   const uint64_t us = RetryBackoffDelayUs(policy_, scope, attempt);
   if (us > 0) {
+    // Histogram the sleep actually taken (the scheduler may oversleep),
+    // not the planned delay.
+    MetricsRegistry& metrics = db_->manager().metrics();
+    const uint64_t start_ns = metrics.enabled() ? MonotonicNowNs() : 0;
     std::this_thread::sleep_for(std::chrono::microseconds(us));
+    if (metrics.enabled()) {
+      metrics.Record(kHistRetryBackoffNs, MonotonicNowNs() - start_ns);
+    }
   }
   return injected;
 }
@@ -115,6 +123,7 @@ Status RetryExecutor::Run(const Database::TxnBody& body) {
       }
     }
     std::unique_ptr<Transaction> txn = db_->Begin();
+    txn->NoteRetryAttempt(static_cast<uint32_t>(attempt));
     const uint32_t top_index = txn->id()[0];
     RegisterTree(top_index, tree);
     auto unregister =
@@ -180,6 +189,7 @@ Status RetryExecutor::RunChild(Transaction& parent,
       }
       return child.status();
     }
+    (*child)->NoteRetryAttempt(static_cast<uint32_t>(attempt));
     Status s = body(**child);
     if (s.ok()) {
       s = (*child)->Commit();

@@ -11,6 +11,32 @@ uint32_t EngineStats::ThreadSlot() {
   return slot;
 }
 
+const char* StatCounterName(StatCounter c) {
+  switch (c) {
+#define NESTEDTX_STAT_NAME(id, field) \
+  case id:                            \
+    return #field;
+    NESTEDTX_STAT_COUNTERS(NESTEDTX_STAT_NAME)
+#undef NESTEDTX_STAT_NAME
+    case kStatNumCounters:
+      break;
+  }
+  return "?";
+}
+
+uint64_t StatsSnapshot::Value(StatCounter c) const {
+  switch (c) {
+#define NESTEDTX_STAT_VALUE(id, field) \
+  case id:                             \
+    return field;
+    NESTEDTX_STAT_COUNTERS(NESTEDTX_STAT_VALUE)
+#undef NESTEDTX_STAT_VALUE
+    case kStatNumCounters:
+      break;
+  }
+  return 0;
+}
+
 StatsSnapshot EngineStats::Snapshot() const {
   uint64_t sums[kStatNumCounters] = {};
   for (const Stripe& s : stripes_) {
@@ -19,27 +45,9 @@ StatsSnapshot EngineStats::Snapshot() const {
     }
   }
   StatsSnapshot out;
-  out.txns_begun = sums[kStatTxnsBegun];
-  out.txns_committed = sums[kStatTxnsCommitted];
-  out.txns_aborted = sums[kStatTxnsAborted];
-  out.top_level_committed = sums[kStatTopLevelCommitted];
-  out.top_level_aborted = sums[kStatTopLevelAborted];
-  out.reads = sums[kStatReads];
-  out.writes = sums[kStatWrites];
-  out.lock_grants = sums[kStatLockGrants];
-  out.lock_waits = sums[kStatLockWaits];
-  out.deadlocks = sums[kStatDeadlocks];
-  out.deadlock_victims_self = sums[kStatDeadlockVictimSelf];
-  out.deadlock_victims_other = sums[kStatDeadlockVictimOther];
-  out.lock_timeouts = sums[kStatLockTimeouts];
-  out.locks_inherited = sums[kStatLocksInherited];
-  out.versions_discarded = sums[kStatVersionsDiscarded];
-  out.wakeups_issued = sums[kStatWakeupsIssued];
-  out.wakeups_coalesced = sums[kStatWakeupsCoalesced];
-  out.waits_cancelled = sums[kStatWaitsCancelled];
-  out.retries_attempted = sums[kStatRetriesAttempted];
-  out.retries_exhausted = sums[kStatRetriesExhausted];
-  out.admission_rejected = sums[kStatAdmissionRejected];
+#define NESTEDTX_STAT_ASSIGN(id, field) out.field = sums[id];
+  NESTEDTX_STAT_COUNTERS(NESTEDTX_STAT_ASSIGN)
+#undef NESTEDTX_STAT_ASSIGN
   return out;
 }
 
@@ -52,23 +60,17 @@ void EngineStats::Reset() {
 }
 
 std::string StatsSnapshot::ToString() const {
+  // Generated from the counter list: every counter appears, by its
+  // canonical name, with no opportunity to forget one (PR 4 added four
+  // counters to the old hand-written format by hand; never again).
   std::ostringstream oss;
-  oss << "txns{begun=" << txns_begun << " committed=" << txns_committed
-      << " aborted=" << txns_aborted << " top_committed=" << top_level_committed
-      << " top_aborted=" << top_level_aborted << "}"
-      << " ops{reads=" << reads << " writes=" << writes << "}"
-      << " locks{grants=" << lock_grants << " waits=" << lock_waits
-      << " deadlocks=" << deadlocks << " (self=" << deadlock_victims_self
-      << " other=" << deadlock_victims_other << ")"
-      << " timeouts=" << lock_timeouts
-      << " inherited=" << locks_inherited
-      << " versions_discarded=" << versions_discarded
-      << " wakeups=" << wakeups_issued
-      << " (coalesced=" << wakeups_coalesced << ")"
-      << " waits_cancelled=" << waits_cancelled << "}"
-      << " retry{attempted=" << retries_attempted
-      << " exhausted=" << retries_exhausted
-      << " admission_rejected=" << admission_rejected << "}";
+  bool first = true;
+  for (int i = 0; i < kStatNumCounters; ++i) {
+    const StatCounter c = static_cast<StatCounter>(i);
+    if (!first) oss << ' ';
+    first = false;
+    oss << StatCounterName(c) << '=' << Value(c);
+  }
   return oss.str();
 }
 

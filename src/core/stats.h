@@ -11,31 +11,53 @@
 
 namespace nestedtx {
 
+/// The single source of truth for the counter set: X(enumerator, field).
+/// The enum, the snapshot struct, Snapshot() aggregation, per-counter name
+/// lookup and every export surface (ToString, MetricsRegistry::ExportText/
+/// ExportJson) are all generated from this list, so adding a counter here
+/// adds it everywhere at once — tests/observability_test.cc round-trips
+/// each counter through every surface to keep it that way.
+#define NESTEDTX_STAT_COUNTERS(X)                                         \
+  X(kStatTxnsBegun, txns_begun)                                           \
+  X(kStatTxnsCommitted, txns_committed)                                   \
+  X(kStatTxnsAborted, txns_aborted)                                       \
+  X(kStatTopLevelCommitted, top_level_committed)                          \
+  X(kStatTopLevelAborted, top_level_aborted)                              \
+  X(kStatReads, reads)                                                    \
+  X(kStatWrites, writes)                                                  \
+  X(kStatLockGrants, lock_grants)                                         \
+  X(kStatLockWaits, lock_waits)                                           \
+  X(kStatDeadlocks, deadlocks)                                            \
+  /* requester died at its own registration */                            \
+  X(kStatDeadlockVictimSelf, deadlock_victims_self)                       \
+  /* waiter victimized by another's cycle check */                        \
+  X(kStatDeadlockVictimOther, deadlock_victims_other)                     \
+  X(kStatLockTimeouts, lock_timeouts)                                     \
+  X(kStatLocksInherited, locks_inherited)                                 \
+  X(kStatVersionsDiscarded, versions_discarded)                           \
+  /* cv notify_all calls made by the release path */                      \
+  X(kStatWakeupsIssued, wakeups_issued)                                   \
+  /* duplicate notify requests merged before issue */                     \
+  X(kStatWakeupsCoalesced, wakeups_coalesced)                             \
+  /* lock waits ended by orphan cancellation */                           \
+  X(kStatWaitsCancelled, waits_cancelled)                                 \
+  /* RetryExecutor re-runs after a failed attempt */                      \
+  X(kStatRetriesAttempted, retries_attempted)                             \
+  /* retry loops that gave up (budget/attempts) */                        \
+  X(kStatRetriesExhausted, retries_exhausted)                             \
+  /* top-level begins shed by the admission gate */                       \
+  X(kStatAdmissionRejected, admission_rejected)
+
 /// Counter identifiers (indices into a stripe).
 enum StatCounter : int {
-  kStatTxnsBegun = 0,
-  kStatTxnsCommitted,
-  kStatTxnsAborted,
-  kStatTopLevelCommitted,
-  kStatTopLevelAborted,
-  kStatReads,
-  kStatWrites,
-  kStatLockGrants,
-  kStatLockWaits,
-  kStatDeadlocks,
-  kStatDeadlockVictimSelf,   // requester died at its own registration
-  kStatDeadlockVictimOther,  // waiter victimized by another's cycle check
-  kStatLockTimeouts,
-  kStatLocksInherited,
-  kStatVersionsDiscarded,
-  kStatWakeupsIssued,     // cv notify_all calls made by the release path
-  kStatWakeupsCoalesced,  // duplicate notify requests merged before issue
-  kStatWaitsCancelled,    // lock waits ended by orphan cancellation
-  kStatRetriesAttempted,  // RetryExecutor re-runs after a failed attempt
-  kStatRetriesExhausted,  // retry loops that gave up (budget/attempts)
-  kStatAdmissionRejected,  // top-level begins shed by the admission gate
-  kStatNumCounters,
+#define NESTEDTX_STAT_ENUM(id, field) id,
+  NESTEDTX_STAT_COUNTERS(NESTEDTX_STAT_ENUM)
+#undef NESTEDTX_STAT_ENUM
+      kStatNumCounters,
 };
+
+/// The counter's snake_case field name ("txns_begun", ...).
+const char* StatCounterName(StatCounter c);
 
 /// An aggregate of every counter (plain values). NOT a coherent
 /// point-in-time cut: stripes are summed with relaxed loads while
@@ -44,27 +66,13 @@ enum StatCounter : int {
 /// aborted) may be transiently off by in-flight operations. Exact only
 /// in quiescence; treat live reads as monitoring-grade.
 struct StatsSnapshot {
-  uint64_t txns_begun = 0;
-  uint64_t txns_committed = 0;
-  uint64_t txns_aborted = 0;
-  uint64_t top_level_committed = 0;
-  uint64_t top_level_aborted = 0;
-  uint64_t reads = 0;
-  uint64_t writes = 0;
-  uint64_t lock_grants = 0;
-  uint64_t lock_waits = 0;
-  uint64_t deadlocks = 0;
-  uint64_t deadlock_victims_self = 0;
-  uint64_t deadlock_victims_other = 0;
-  uint64_t lock_timeouts = 0;
-  uint64_t locks_inherited = 0;
-  uint64_t versions_discarded = 0;
-  uint64_t wakeups_issued = 0;
-  uint64_t wakeups_coalesced = 0;
-  uint64_t waits_cancelled = 0;
-  uint64_t retries_attempted = 0;
-  uint64_t retries_exhausted = 0;
-  uint64_t admission_rejected = 0;
+#define NESTEDTX_STAT_FIELD(id, field) uint64_t field = 0;
+  NESTEDTX_STAT_COUNTERS(NESTEDTX_STAT_FIELD)
+#undef NESTEDTX_STAT_FIELD
+
+  /// The field addressed by its counter id (the iteration surface the
+  /// completeness tests and the metrics exporters use).
+  uint64_t Value(StatCounter c) const;
 
   std::string ToString() const;
 };

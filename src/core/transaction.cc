@@ -59,6 +59,50 @@ Transaction::Transaction(TransactionManager* manager, Transaction* parent,
                          TransactionId id)
     : manager_(manager), parent_(parent), id_(std::move(id)) {
   manager_->stats().Add(kStatTxnsBegun);
+  MetricsRegistry& metrics = manager_->metrics();
+  if (metrics.enabled()) {
+    begin_ns_ = MonotonicNowNs();
+    // Every transaction (children included) rolls the sampling dice; a
+    // sampled child gets its own span in the ring.
+    if (metrics.spans().Sample()) {
+      span_sampled_ = true;
+      span_.id = id_;
+      span_.begin_ns = begin_ns_;
+    }
+  }
+}
+
+// Charges the calling thread's lock-wait delta to the sampled span; a
+// no-op shell when the transaction carries no span.
+class Transaction::SpanAccessScope {
+ public:
+  explicit SpanAccessScope(Transaction* t) : t_(t) {
+    if (!t_->span_sampled_) return;
+    before_ = ThreadWaitAccounting();
+    if (t_->span_.first_lock_ns == 0) {
+      t_->span_.first_lock_ns = MonotonicNowNs();
+    }
+  }
+  ~SpanAccessScope() {
+    if (!t_->span_sampled_) return;
+    const ThreadWaitCounters& after = ThreadWaitAccounting();
+    t_->span_.wait_ns += after.ns - before_.ns;
+    t_->span_.wait_count += static_cast<uint32_t>(after.count - before_.count);
+  }
+
+ private:
+  Transaction* t_;
+  ThreadWaitCounters before_{};
+};
+
+void Transaction::FinishSpan(uint64_t end_ns, size_t keys_touched,
+                             Status::Code code) {
+  if (!span_sampled_) return;
+  span_.end_ns = end_ns;
+  span_.keys_touched = static_cast<uint32_t>(keys_touched);
+  span_.final_status = code;
+  manager_->metrics().spans().Append(span_);
+  span_sampled_ = false;
 }
 
 Transaction::~Transaction() {
@@ -148,6 +192,7 @@ void Transaction::CacheHeld(size_t idx, const std::string& key,
 Result<std::optional<int64_t>> Transaction::LockedRead(
     const std::string& key, const AccessTraceInfo* trace,
     LockManager::HeldLock held, bool have_held, size_t idx) {
+  SpanAccessScope span_scope(this);
   LockManager& locks = manager_->locks();
   if (have_held) {
     const LockManager::HeldLock before = held;
@@ -170,6 +215,7 @@ Result<std::optional<int64_t>> Transaction::LockedWrite(
     const std::string& key, const LockManager::Mutator& m,
     const AccessTraceInfo* trace, LockManager::HeldLock held,
     bool have_held, size_t idx) {
+  SpanAccessScope span_scope(this);
   LockManager& locks = manager_->locks();
   if (have_held) {
     const LockManager::HeldLock before = held;
@@ -345,6 +391,13 @@ Status Transaction::Commit() {
     return Status::FailedPrecondition(StrCat(id_, " already returned"));
   }
 
+  // One clock read up front covers the span's commit-request stamp and
+  // the release-duration histogram (span sampling implies enabled()).
+  MetricsRegistry& metrics = manager_->metrics();
+  const bool timed = metrics.enabled();
+  const uint64_t commit_req_ns = timed ? MonotonicNowNs() : 0;
+  if (span_sampled_) span_.commit_request_ns = commit_req_ns;
+
   const CcMode mode = manager_->options().cc_mode;
   // No wait-graph sweep here: a committing transaction has returned from
   // every access, and each WaitForGrant exit clears its entry via a
@@ -365,6 +418,12 @@ Status Transaction::Commit() {
     // Top-level commit: everything becomes the committed base.
     const std::vector<LockManager::KeyHold> keys = TakeKeys();
     manager_->locks().OnCommit(id_, TransactionId::Root(), keys);
+    if (timed) {
+      const uint64_t end_ns = MonotonicNowNs();
+      metrics.Record(kHistCommitReleaseNs, end_ns - commit_req_ns);
+      metrics.Record(kHistTxnNs, end_ns - begin_ns_);
+      FinishSpan(end_ns, keys.size(), Status::Code::kOk);
+    }
     if (rec != nullptr) rec->Emit(Event::ReportCommit(id_, my_aggregate));
     manager_->stats().Add(kStatTxnsCommitted);
     manager_->stats().Add(kStatTopLevelCommitted);
@@ -384,6 +443,15 @@ Status Transaction::Commit() {
     manager_->locks().OnCommit(id_, parent_->id_, keys);
     MergeKeysIntoParent(keys);
   }
+  if (timed) {
+    const uint64_t end_ns = MonotonicNowNs();
+    // Flat-mode child commits release nothing (locks stay with the
+    // top-level owner), so they contribute no release sample.
+    if (mode != CcMode::kFlat2PL) {
+      metrics.Record(kHistCommitReleaseNs, end_ns - commit_req_ns);
+    }
+    FinishSpan(end_ns, keys.size(), Status::Code::kOk);
+  }
   if (rec != nullptr) {
     rec->Emit(Event::ReportCommit(id_, my_aggregate));
     parent_->AddToAggregate(my_aggregate);
@@ -401,6 +469,11 @@ Status Transaction::Abort() {
   if (returned_.exchange(true)) {
     return Status::FailedPrecondition(StrCat(id_, " already returned"));
   }
+
+  MetricsRegistry& metrics = manager_->metrics();
+  const bool timed = metrics.enabled();
+  const uint64_t abort_req_ns = timed ? MonotonicNowNs() : 0;
+  if (span_sampled_) span_.commit_request_ns = abort_req_ns;
 
   const CcMode mode = manager_->options().cc_mode;
   // Wait-graph hygiene on teardown. Every WaitForGrant exit already
@@ -425,6 +498,15 @@ Status Transaction::Abort() {
   } else {
     manager_->locks().OnAbort(LockOwner(), keys);
   }
+  if (timed) {
+    const uint64_t end_ns = MonotonicNowNs();
+    // A flat-mode child abort dooms the tree but releases nothing.
+    if (!(mode == CcMode::kFlat2PL && parent_ != nullptr)) {
+      metrics.Record(kHistAbortReleaseNs, end_ns - abort_req_ns);
+    }
+    if (parent_ == nullptr) metrics.Record(kHistTxnNs, end_ns - begin_ns_);
+    FinishSpan(end_ns, keys.size(), Status::Code::kAborted);
+  }
   if (rec != nullptr) rec->Emit(Event::ReportAbort(id_));
   manager_->stats().Add(kStatTxnsAborted);
   // The abort Cancel() announced has now happened: lift the doom so the
@@ -442,7 +524,9 @@ Status Transaction::Abort() {
 }
 
 TransactionManager::TransactionManager(const EngineOptions& options)
-    : options_(options), locks_(options, &stats_) {}
+    : options_(options),
+      metrics_(options),
+      locks_(options, &stats_, &metrics_) {}
 
 void TransactionManager::AcquireSerialGate() {
   std::unique_lock<std::mutex> lk(gate_mutex_);

@@ -31,7 +31,9 @@
 #include <vector>
 
 #include "core/lock_manager.h"
+#include "core/metrics.h"
 #include "core/options.h"
+#include "core/span.h"
 #include "core/stats.h"
 #include "tx/transaction_id.h"
 #include "util/status.h"
@@ -96,6 +98,12 @@ class Transaction {
   /// match). Only Abort() is permitted afterwards.
   void Cancel();
 
+  /// RetryExecutor hook: tag this transaction's span with its attempt
+  /// number (0 = first attempt). No-op unless the span is sampled.
+  void NoteRetryAttempt(uint32_t attempt) {
+    if (span_sampled_) span_.retry_attempt = attempt;
+  }
+
   const TransactionId& id() const { return id_; }
   bool returned() const { return returned_.load(); }
   /// Children begun and not yet returned (diagnostic; racy by nature).
@@ -154,6 +162,15 @@ class Transaction {
   /// aggregate (unsigned wraparound, mirroring ScriptedTransaction).
   void AddToAggregate(Value v);
 
+  /// RAII wrapper around one lock-manager call: charges the calling
+  /// thread's lock-wait delta (ThreadWaitAccounting) to the sampled
+  /// span. Waits are synchronous on the caller's thread, so the delta
+  /// is exactly this access's waits.
+  class SpanAccessScope;
+
+  /// Seal and publish the sampled span (no-op when not sampled).
+  void FinishSpan(uint64_t end_ns, size_t keys_touched, Status::Code code);
+
   TransactionManager* manager_;
   Transaction* parent_;  // nullptr for top-level
   TransactionId id_;
@@ -168,6 +185,16 @@ class Transaction {
   std::atomic<bool> returned_{false};
   std::atomic<bool> doomed_{false};   // kFlat2PL subtree failure
   Value aggregate_ = 0;               // guarded by mutex_; tracing only
+
+  // Observability scratch. begin_ns_ is stamped once at construction
+  // (metrics enabled only); span_ accumulates while span_sampled_ and is
+  // pushed to the span log exactly once, at commit/abort. Like the rest
+  // of a handle's sequencing state, the span scratch assumes the usual
+  // one-thread-at-a-time use of a single handle (concurrency comes from
+  // children, each with its own handle and span).
+  uint64_t begin_ns_ = 0;
+  TxnSpan span_;
+  bool span_sampled_ = false;
 };
 
 /// Owns the lock manager and global policies; creates top-level
@@ -182,6 +209,7 @@ class TransactionManager {
 
   const EngineOptions& options() const { return options_; }
   EngineStats& stats() { return stats_; }
+  MetricsRegistry& metrics() { return metrics_; }
   LockManager& locks() { return locks_; }
 
   /// Admission gate for managed top-level execution (RunTransaction /
@@ -204,6 +232,7 @@ class TransactionManager {
 
   EngineOptions options_;
   EngineStats stats_;
+  MetricsRegistry metrics_;
   LockManager locks_;
 
   std::atomic<uint32_t> top_counter_{0};

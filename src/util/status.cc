@@ -2,8 +2,7 @@
 
 namespace nestedtx {
 
-namespace {
-const char* CodeName(Status::Code code) {
+const char* StatusCodeName(Status::Code code) {
   switch (code) {
     case Status::Code::kOk:
       return "OK";
@@ -32,11 +31,10 @@ const char* CodeName(Status::Code code) {
   }
   return "Unknown";
 }
-}  // namespace
 
 std::string Status::ToString() const {
   if (ok()) return "OK";
-  std::string out = CodeName(code_);
+  std::string out = StatusCodeName(code_);
   if (!message_.empty()) {
     out += ": ";
     out += message_;

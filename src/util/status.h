@@ -152,6 +152,9 @@ class Result {
   std::optional<T> value_;
 };
 
+/// Canonical name of a status code ("OK", "Deadlock", ...).
+const char* StatusCodeName(Status::Code code);
+
 /// Propagate errors: `RETURN_IF_ERROR(DoThing());`
 #define RETURN_IF_ERROR(expr)                \
   do {                                       \

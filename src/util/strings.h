@@ -34,6 +34,11 @@ std::string Join(const Container& items, const std::string& sep) {
 /// Split on a single character; keeps empty tokens.
 std::vector<std::string> Split(const std::string& s, char sep);
 
+/// `s` as the contents of a JSON string literal (no surrounding quotes):
+/// `"` `\` and control characters are escaped per RFC 8259. Bytes >= 0x80
+/// pass through untouched, so UTF-8 input stays UTF-8.
+std::string JsonEscape(const std::string& s);
+
 }  // namespace nestedtx
 
 #endif  // NESTEDTX_UTIL_STRINGS_H_

@@ -4,6 +4,7 @@
 #include <functional>
 #include <thread>
 
+#include "core/failpoints.h"
 #include "core/lock_manager.h"
 
 namespace nestedtx {
@@ -333,6 +334,83 @@ TEST(LockManagerVictimPolicyTest, YoungestSubtreeVictimizesDeeperWaiter) {
             snap.deadlock_victims_self + snap.deadlock_victims_other);
   EXPECT_EQ(lm.wait_graph().NumWaiters(), 0u);
   lm.OnAbort(q, std::vector<std::string>{"a", "b"});
+}
+
+// Regression for the wake-classification race: a waiter whose deadline
+// trips must NOT blindly report Timeout — a doom (or grant, or victim
+// mark) may have landed just as the timer expired, published under
+// mutexes the sleeper does not hold. Pre-fix, the deadline branch
+// checked only the conflict set, so a doomed waiter returned TimedOut
+// (counted under lock_timeouts) and its caller would retry a transaction
+// the engine had cancelled. The wait_wakeup delay failpoint stretches
+// the wake-to-classify window from microseconds to hundreds of
+// milliseconds so the doom deterministically lands inside it.
+TEST(LockManagerWakeClassificationTest, DoomAtDeadlineReportsCancelled) {
+  EngineOptions o;
+  o.lock_timeout = std::chrono::milliseconds(100);
+  EngineStats stats;
+  LockManager lm(o, &stats);
+  const LockManager::Mutator set1 = [](std::optional<int64_t>) {
+    return std::optional<int64_t>(1);
+  };
+  ASSERT_TRUE(lm.AcquireWrite(T({1}), "k", set1).ok());
+
+  // Every wake inside the wait loop sleeps 400ms before classifying.
+  FailPoints::Seed(1);
+  FailPoints::Config cfg;
+  cfg.delay_one_in = 1;
+  cfg.delay_us = 400000;
+  FailPoints::Enable(FailPoints::kWaitWakeup, cfg);
+
+  Status waiter_status;
+  std::thread waiter([&] {
+    waiter_status = lm.AcquireRead(T({0, 0}), "k").status();
+  });
+  // Let the 100ms deadline trip, then doom the waiter's subtree while it
+  // is still inside the stretched classification window (100ms..500ms).
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  lm.DoomSubtree(T({0}));
+  waiter.join();
+  FailPoints::DisableAll();
+
+  EXPECT_TRUE(waiter_status.IsCancelled()) << waiter_status.ToString();
+  // The outcome lands on exactly one counter: cancelled, never timeout.
+  const StatsSnapshot snap = stats.Snapshot();
+  EXPECT_EQ(snap.waits_cancelled, 1u);
+  EXPECT_EQ(snap.lock_timeouts, 0u);
+  // And the wait left no residue behind.
+  EXPECT_EQ(lm.wait_graph().NumWaiters(), 0u);
+  lm.ClearDoom(T({0}));
+  EXPECT_EQ(lm.DoomedRootCount(), 0u);
+  EXPECT_EQ(lm.ParkedWaiterCount(), 0u);
+  lm.OnAbort(T({1}), std::vector<std::string>{"k"});
+}
+
+// Companion: with no doom in flight, the same stretched deadline wake
+// still classifies as Timeout — the fix must not over-steer.
+TEST(LockManagerWakeClassificationTest, PlainDeadlineStillReportsTimeout) {
+  EngineOptions o;
+  o.lock_timeout = std::chrono::milliseconds(100);
+  EngineStats stats;
+  LockManager lm(o, &stats);
+  const LockManager::Mutator set1 = [](std::optional<int64_t>) {
+    return std::optional<int64_t>(1);
+  };
+  ASSERT_TRUE(lm.AcquireWrite(T({1}), "k", set1).ok());
+
+  FailPoints::Seed(1);
+  FailPoints::Config cfg;
+  cfg.delay_one_in = 1;
+  cfg.delay_us = 50000;
+  FailPoints::Enable(FailPoints::kWaitWakeup, cfg);
+  Status s = lm.AcquireRead(T({0, 0}), "k").status();
+  FailPoints::DisableAll();
+
+  EXPECT_TRUE(s.IsTimedOut()) << s.ToString();
+  const StatsSnapshot snap = stats.Snapshot();
+  EXPECT_EQ(snap.lock_timeouts, 1u);
+  EXPECT_EQ(snap.waits_cancelled, 0u);
+  lm.OnAbort(T({1}), std::vector<std::string>{"k"});
 }
 
 }  // namespace

@@ -221,6 +221,33 @@ void VictimPolicyAblation(JsonResultFile* json) {
   }
 }
 
+// (d) Per-key lock word on vs. off (EngineOptions::lock_word_enabled),
+//     CPU-bound read-mostly cell. Expected shape: the word serves almost
+//     every grant and repeat read without a key mutex, so word-on leads;
+//     off recovers the pre-lock-word mutex-only engine (DESIGN.md §5).
+void LockWordAblation(JsonResultFile* json) {
+  std::printf("\nE9d: lock word ablation (2 threads, 16 keys, 90%% reads, "
+              "CPU-bound)\n");
+  std::printf("%10s | %12s %12s\n", "lock word", "txn/s", "ops/s");
+  for (bool enabled : {true, false}) {
+    WorkloadConfig cfg;
+    cfg.threads = 2;
+    cfg.num_keys = 16;
+    cfg.read_ratio = 0.9;
+    cfg.accesses_per_txn = 8;
+    cfg.dwell_us_per_access = 0;
+    cfg.duration_seconds = 0.6;
+    cfg.lock_word_enabled = enabled;
+    WorkloadResult r = RunWorkload(cfg);
+    std::printf("%10s | %12.0f %12.0f\n", enabled ? "on" : "off",
+                r.TxnPerSec(), r.OpsPerSec());
+    if (json != nullptr) {
+      AddWorkloadEntry(*json, StrCat("e9d/lock_word_", enabled ? "on" : "off"),
+                       cfg, r);
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -229,6 +256,7 @@ int main(int argc, char** argv) {
   DeadlockPolicyAblation(out);
   ForUpdateAblation(out);
   VictimPolicyAblation(out);
+  LockWordAblation(out);
   if (out != nullptr) out->Write();
   return 0;
 }

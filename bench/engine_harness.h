@@ -11,6 +11,11 @@
 #include <thread>
 #include <vector>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "bench_json.h"
 #include "core/database.h"
 #include "util/random.h"
@@ -47,6 +52,12 @@ struct WorkloadConfig {
   /// them to price the instrumentation itself.
   bool metrics_enabled = true;
   uint32_t span_sample_one_in = 0;
+  /// Per-key atomic lock word (EngineOptions::lock_word_enabled). Off =
+  /// every key born inflated: the mutex-only engine, as an A/B baseline.
+  bool lock_word_enabled = true;
+  /// Pin worker w to core w % hardware_concurrency (Linux only; no-op
+  /// elsewhere). Steadies the E14 core-scaling sweep against migration.
+  bool pin_threads = false;
 };
 
 struct WorkloadResult {
@@ -71,6 +82,21 @@ struct WorkloadResult {
     return attempts > 0 ? double(committed) / double(attempts) : 0;
   }
 };
+
+/// Pin the calling thread to core `w % hardware_concurrency`. Linux
+/// only; a silent no-op elsewhere (the sweep still runs, just subject
+/// to scheduler migration).
+inline void PinThisThread(int w) {
+#if defined(__linux__)
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(w) % cores, &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)w;
+#endif
+}
 
 namespace internal {
 
@@ -165,6 +191,7 @@ inline WorkloadResult RunWorkload(const WorkloadConfig& raw_cfg) {
   options.lock_timeout = cfg.lock_timeout;
   options.metrics_enabled = cfg.metrics_enabled;
   options.span_sample_one_in = cfg.span_sample_one_in;
+  options.lock_word_enabled = cfg.lock_word_enabled;
   Database db(options);
   std::vector<std::string> keys;
   keys.reserve(cfg.num_keys);
@@ -179,6 +206,7 @@ inline WorkloadResult RunWorkload(const WorkloadConfig& raw_cfg) {
   Stopwatch clock;
   for (int w = 0; w < cfg.threads; ++w) {
     workers.emplace_back([&, w] {
+      if (cfg.pin_threads) PinThisThread(w);
       Rng rng(w * 7919 + 101);
       Zipf zipf(cfg.num_keys, cfg.zipf_theta);
       while (!stop.load(std::memory_order_relaxed)) {
@@ -245,6 +273,7 @@ inline JsonResultFile::Entry& AddWorkloadEntry(JsonResultFile& out,
       .Int("nesting_depth", cfg.nesting_depth)
       .Num("subtxn_abort_prob", cfg.subtxn_abort_prob)
       .Int("dwell_us_per_access", cfg.dwell_us_per_access)
+      .Int("lock_word", cfg.lock_word_enabled ? 1 : 0)
       .Num("duration_seconds", r.seconds)
       .Num("txn_per_sec", r.TxnPerSec())
       .Num("ops_per_sec", r.OpsPerSec())

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 #include <set>
+#include <thread>
 #include <utility>
 
 #include "core/failpoints.h"
@@ -12,15 +13,46 @@
 #include "util/strings.h"
 
 namespace nestedtx {
+namespace {
+
+// Lock-word bit semantics (layout in lock_manager.h):
+//
+//   INFLATED — the key is in the mutex regime; fast paths bail on
+//       sight and ks.m alone protects the holder structures.
+//   MICRO — the fast-regime spin lock; while a key is uninflated,
+//       holder structures and the base are touched only by the MICRO
+//       owner. MICRO and INFLATED are mutually exclusive: setting
+//       INFLATED requires ks.m plus a clear MICRO bit, and nothing sets
+//       MICRO on an inflated word.
+//   PRESENT — whether the value cache (KeyState::hot.value) holds a
+//       value or a deletion/absence; maintained together with the cache.
+//   seq — bumped on every holder-set insertion (both regimes) and
+//       on every fast-regime structural change, so an unchanged seq
+//       proves the Moss no-conflict condition still holds, and an
+//       unchanged *word* additionally proves the value cache is current
+//       (the seqlock read lane).
+constexpr uint64_t BumpSeq(uint64_t w) { return LockWordBumpSeq(w); }
+
+// Fast paths give up after this many failed tries for the MICRO bit;
+// sustained micro contention is a conflict signal, and the slow path's
+// escalation is the designed response.
+constexpr int kFastSpinBudget = 64;
+
+}  // namespace
 
 // One lock-table entry. Holder sets and the version map are sorted small
-// vectors (holder counts are tiny in practice); `holder_epoch` is bumped
-// on every holder-set insertion and is what validates HeldLock fast-path
-// handles (see the header comment).
+// vectors (holder counts are tiny in practice). `word` is the atomic
+// lock word described above; `fast_value` caches, while the key is
+// uninflated, the value a conflict-free reader observes (deepest
+// writer's version, else base), so the seqlock read lane never touches
+// the plain structures.
 struct LockManager::KeyState {
-  explicit KeyState(std::string k) : key(std::move(k)) {}
+  KeyState(std::string k, bool born_inflated)
+      : key(std::move(k)),
+        hot{{born_inflated ? kWordInflated : 0}} {}
 
-  const std::string key;  // for trace emission from fast-path grants
+  const std::string key;  // for trace emission from slow-path grants
+  LockWordPair hot;       // lock word + seqlock value cache
   std::mutex m;
   std::condition_variable cv;
   IdSet read_holders;
@@ -28,18 +60,94 @@ struct LockManager::KeyState {
   // are always the same transactions, so one sorted vector serves both.
   VersionMap write_holders;
   std::optional<int64_t> base;
-  uint64_t holder_epoch = 0;
   // Threads parked on cv, maintained under m (incremented only around
   // the cv wait). Releasers skip the wakeup entirely when it is 0; no
   // wakeup is lost because a waiter holds m from wake to re-park, so a
   // releaser either sees it parked or sees the post-release state it
-  // re-checks against.
+  // re-checks against. waiters > 0 also blocks deflation: an uninflated
+  // key never has a parked waiter.
   uint32_t waiters = 0;
   // Contention profile, maintained under m at WaitForGrant exit (every
-  // exit path holds m). CollectHotKeys ranks keys by wait_ns on export.
+  // exit path holds m). Fast-word grants never wait, so the key mutex
+  // owns these counters in both regimes. CollectHotKeys ranks keys by
+  // wait_ns on export.
   uint64_t wait_count = 0;
   uint64_t wait_ns = 0;
 };
+
+namespace {
+
+// Acquire the MICRO bit on an uninflated word, spinning without bound.
+// Caller holds ks.m, which excludes new inflations, so the wait is only
+// for in-flight fast sections (short, never blocked on a lock). Returns
+// the pre-acquisition word (MICRO clear).
+uint64_t AcquireMicroLocked(LockManager::KeyState& ks) {
+  uint64_t w = ks.hot.word.load(std::memory_order_relaxed);
+  for (;;) {
+    if (w & kWordMicro) {
+      std::this_thread::yield();
+      w = ks.hot.word.load(std::memory_order_relaxed);
+      continue;
+    }
+    if (ks.hot.word.compare_exchange_weak(w, w | kWordMicro,
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+      return w;
+    }
+  }
+}
+
+// Bounded-spin MICRO acquisition for the fast lanes (no ks.m held). On
+// success *pre receives the pre-CAS word (INFLATED and MICRO clear).
+bool TryAcquireMicro(LockManager::KeyState& ks, uint64_t* pre) {
+  for (int spin = 0; spin < kFastSpinBudget; ++spin) {
+    uint64_t w = ks.hot.word.load(std::memory_order_relaxed);
+    if (w & kWordInflated) return false;
+    if (w & kWordMicro) {
+      std::this_thread::yield();
+      continue;
+    }
+    if (ks.hot.word.compare_exchange_weak(w, w | kWordMicro,
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+      *pre = w;
+      return true;
+    }
+  }
+  return false;
+}
+
+// Micro-bit scope for inspection paths (snapshots, base access) that
+// must see a stable uninflated key without escalating it. Caller holds
+// ks.m; on an inflated key ks.m alone already owns the state and no bit
+// is taken. `word()` exposes the held word for mutating sections, which
+// must call `set_word` with the value to publish on release.
+class WordSection {
+ public:
+  explicit WordSection(LockManager::KeyState& ks) : ks_(ks) {
+    w_ = ks.hot.word.load(std::memory_order_relaxed);
+    if ((w_ & kWordInflated) == 0) {
+      w_ = AcquireMicroLocked(ks_);
+      locked_ = true;
+    }
+  }
+  ~WordSection() {
+    if (locked_) ks_.hot.word.store(w_, std::memory_order_release);
+  }
+  WordSection(const WordSection&) = delete;
+  WordSection& operator=(const WordSection&) = delete;
+
+  bool micro_held() const { return locked_; }
+  uint64_t word() const { return w_; }
+  void set_word(uint64_t w) { w_ = w; }
+
+ private:
+  LockManager::KeyState& ks_;
+  uint64_t w_ = 0;
+  bool locked_ = false;
+};
+
+}  // namespace
 
 LockManager::LockManager(const EngineOptions& options, EngineStats* stats,
                          MetricsRegistry* metrics)
@@ -70,7 +178,10 @@ LockManager::KeyState& LockManager::GetKeyState(const std::string& key) {
   std::lock_guard<std::mutex> lock(shard.m);
   auto it = shard.keys.find(key);
   if (it == shard.keys.end()) {
-    it = shard.keys.emplace(key, std::make_unique<KeyState>(key)).first;
+    it = shard.keys
+             .emplace(key, std::make_unique<KeyState>(
+                               key, !options_.lock_word_enabled))
+             .first;
   }
   return *it->second;
 }
@@ -84,6 +195,51 @@ std::optional<int64_t> LockManager::CurrentValue(const KeyState& ks) {
   }
   if (deepest != nullptr) return deepest->value;
   return ks.base;
+}
+
+namespace {
+
+// Re-derive the value cache from the authoritative structures; caller
+// owns the MICRO bit. Returns `w` with the PRESENT bit set accordingly.
+uint64_t RefreshValueCache(LockManager::KeyState& ks,
+                           std::optional<int64_t> value, uint64_t w) {
+  ks.hot.value.store(value.value_or(0), std::memory_order_relaxed);
+  return value.has_value() ? (w | kWordPresent) : (w & ~kWordPresent);
+}
+
+}  // namespace
+
+void LockManager::EnsureInflatedLocked(KeyState& ks) {
+  if (ks.hot.word.load(std::memory_order_relaxed) & kWordInflated) return;
+  // Drain in-flight fast sections by taking the micro bit, then publish
+  // the escalated word with MICRO clear: the acquire CAS pairs with the
+  // last fast section's release store (so the plain structures are ours
+  // under ks.m from here), and the release store pairs with every later
+  // fast-path load that sees INFLATED and bails. The seq is preserved —
+  // handles granted in the fast regime stay seq-valid across inflation.
+  const uint64_t w = AcquireMicroLocked(ks);
+  ks.hot.word.store(w | kWordInflated, std::memory_order_release);
+  stats_->Add(kStatLockWordInflations);
+}
+
+void LockManager::MaybeDeflateLocked(KeyState& ks) {
+  if (!FastLanesEnabled()) return;
+  const uint64_t w = ks.hot.word.load(std::memory_order_relaxed);
+  if ((w & kWordInflated) == 0) return;
+  if (!ks.read_holders.empty() || !ks.write_holders.empty() ||
+      ks.waiters != 0) {
+    return;
+  }
+  // Quiesced: hand the key back to the fast lanes. While INFLATED is set
+  // no fast path can own the MICRO bit, so under ks.m the word is ours to
+  // rewrite. The seq bump invalidates any handle that predates the
+  // inflation (its owner is gone — a live holder would have blocked the
+  // deflation — but a stale exact-word match must stay impossible).
+  ks.hot.value.store(ks.base.value_or(0), std::memory_order_relaxed);
+  uint64_t nw = BumpSeq(w) & kWordSeqMask;
+  if (ks.base.has_value()) nw |= kWordPresent;
+  ks.hot.word.store(nw, std::memory_order_release);
+  stats_->Add(kStatLockWordDeflations);
 }
 
 std::vector<TransactionId> LockManager::Conflicts(const KeyState& ks,
@@ -110,6 +266,7 @@ std::vector<TransactionId> LockManager::ConflictsForTest(
     const std::string& key, const TransactionId& txn, bool exclusive) {
   KeyState& ks = GetKeyState(key);
   std::lock_guard<std::mutex> lock(ks.m);
+  WordSection section(ks);
   return Conflicts(ks, txn, exclusive);
 }
 
@@ -150,8 +307,7 @@ void LockManager::ClearDoom(const TransactionId& root) {
   doomed_count_.store(doomed_roots_.size(), std::memory_order_relaxed);
 }
 
-bool LockManager::IsDoomed(const TransactionId& txn) const {
-  if (doomed_count_.load(std::memory_order_relaxed) == 0) return false;
+bool LockManager::IsDoomedSlow(const TransactionId& txn) const {
   std::lock_guard<std::mutex> lock(doom_mutex_);
   for (const TransactionId& root : doomed_roots_) {
     if (root.IsAncestorOf(txn)) return true;
@@ -230,6 +386,11 @@ Status LockManager::WaitForGrant(KeyState& ks,
   });
   std::vector<WaitGraph::Wakeup> wakeups;
   for (;;) {
+    // The slow path owns the key from here, and the victim-wakeup branch
+    // below drops lk — another thread's release may deflate the key
+    // inside that window — so inflation is re-asserted at every loop
+    // entry, before any holder structure is read.
+    EnsureInflatedLocked(ks);
     // Another transaction's cycle check may have picked us as the victim
     // while we slept; its notification is delivered under ks.m, so the
     // mark cannot race past this check into our next wait.
@@ -365,10 +526,91 @@ Status LockManager::WaitForGrant(KeyState& ks,
   }
 }
 
+bool LockManager::TryFastAcquire(KeyState& ks, const TransactionId& txn,
+                                 bool exclusive, const Mutator* mutator,
+                                 HeldLock* held,
+                                 Result<std::optional<int64_t>>* result) {
+  // Bail to the slow path whenever the word cannot speak for the whole
+  // grant decision: a doomed subtree anywhere (WaitForGrant must get the
+  // chance to return Cancelled before granting) or an armed grant
+  // failpoint (injections fire from the mutex-protected site, and a
+  // delay must not run under a spin lock).
+  if (doomed_count_.load(std::memory_order_relaxed) != 0) return false;
+  if (FailPoints::Armed(FailPoints::kLockGrant)) return false;
+  uint64_t w;
+  if (!TryAcquireMicro(ks, &w)) return false;
+  // Moss compatibility over the real holder sets (tiny sorted vectors).
+  // Any conflict escalates: a conflicter is a would-be waiter, and
+  // waiting lives on the mutex path.
+  bool conflict = false;
+  for (const VersionMap::Entry& e : ks.write_holders) {
+    if (!e.id.IsAncestorOf(txn)) {
+      conflict = true;
+      break;
+    }
+  }
+  if (!conflict && exclusive) {
+    for (const TransactionId& r : ks.read_holders) {
+      if (!r.IsAncestorOf(txn)) {
+        conflict = true;
+        break;
+      }
+    }
+  }
+  if (conflict) {
+    ks.hot.word.store(w, std::memory_order_release);
+    return false;
+  }
+  uint64_t nw = w;
+  std::optional<int64_t> out;
+  if (!exclusive) {
+    if (ks.read_holders.Insert(txn)) {
+      nw = BumpSeq(nw);
+      NoteLockAcquired(txn);
+    }
+    out = (w & kWordPresent)
+              ? std::optional<int64_t>(
+                    ks.hot.value.load(std::memory_order_relaxed))
+              : std::nullopt;
+    if (held != nullptr) {
+      *held = HeldLock{&ks, &ks.hot, nw, /*read=*/true,
+                       /*write=*/ks.write_holders.Contains(txn)};
+    }
+    ks.hot.word.store(nw, std::memory_order_release);
+    stats_->Bump(kStatFastReadGrants);
+  } else {
+    // All write holders are ancestors of txn, so txn is (or becomes) the
+    // deepest writer: its new version IS the current value.
+    const std::optional<int64_t> current = CurrentValue(ks);
+    out = (*mutator)(current);
+    if (ks.write_holders.Put(txn, out)) {
+      nw = BumpSeq(nw);
+      NoteLockAcquired(txn);
+    }
+    nw = RefreshValueCache(ks, out, nw);
+    if (held != nullptr) {
+      *held = HeldLock{&ks, &ks.hot, nw, /*read=*/ks.read_holders.Contains(txn),
+                       /*write=*/true};
+    }
+    ks.hot.word.store(nw, std::memory_order_release);
+    stats_->Bump(kStatFastWriteGrants);
+  }
+  *result = out;
+  return true;
+}
+
 Result<std::optional<int64_t>> LockManager::AcquireRead(
     const TransactionId& txn, const std::string& key,
     const AccessTraceInfo* trace, HeldLock* held) {
-  return AcquireReadOn(GetKeyState(key), txn, trace, held);
+  KeyState& ks = GetKeyState(key);
+  if (FastLanesEnabled()) {
+    Result<std::optional<int64_t>> result = std::optional<int64_t>{};
+    if (TryFastAcquire(ks, txn, /*exclusive=*/false, nullptr, held,
+                       &result)) {
+      return result;
+    }
+  }
+  return AcquireReadOn(ks, txn, trace, held);
 }
 
 Result<std::optional<int64_t>> LockManager::AcquireReadOn(
@@ -379,13 +621,16 @@ Result<std::optional<int64_t>> LockManager::AcquireReadOn(
   RETURN_IF_ERROR(FailPoints::MaybeFail(FailPoints::kLockGrant));
   FailPoints::MaybeDelay(FailPoints::kLockGrant);
   if (ks.read_holders.Insert(txn)) {
-    ++ks.holder_epoch;
+    ks.hot.word.store(BumpSeq(ks.hot.word.load(std::memory_order_relaxed)),
+                  std::memory_order_relaxed);
     NoteLockAcquired(txn);
   }
   stats_->Add2(kStatLockGrants, kStatReads);
   const std::optional<int64_t> value = CurrentValue(ks);
   if (held != nullptr) {
-    *held = HeldLock{&ks, ks.holder_epoch, /*read=*/true,
+    *held = HeldLock{&ks, &ks.hot,
+                     ks.hot.word.load(std::memory_order_relaxed),
+                     /*read=*/true,
                      /*write=*/ks.write_holders.Contains(txn)};
   }
   if (recorder_ != nullptr && trace != nullptr) {
@@ -399,7 +644,15 @@ Result<std::optional<int64_t>> LockManager::AcquireReadOn(
 Result<std::optional<int64_t>> LockManager::AcquireWrite(
     const TransactionId& txn, const std::string& key,
     const Mutator& mutator, const AccessTraceInfo* trace, HeldLock* held) {
-  return AcquireWriteOn(GetKeyState(key), txn, mutator, trace, held);
+  KeyState& ks = GetKeyState(key);
+  if (FastLanesEnabled()) {
+    Result<std::optional<int64_t>> result = std::optional<int64_t>{};
+    if (TryFastAcquire(ks, txn, /*exclusive=*/true, &mutator, held,
+                       &result)) {
+      return result;
+    }
+  }
+  return AcquireWriteOn(ks, txn, mutator, trace, held);
 }
 
 Result<std::optional<int64_t>> LockManager::AcquireWriteOn(
@@ -412,13 +665,16 @@ Result<std::optional<int64_t>> LockManager::AcquireWriteOn(
   const std::optional<int64_t> current = CurrentValue(ks);
   const std::optional<int64_t> next = mutator(current);
   if (ks.write_holders.Put(txn, next)) {
-    ++ks.holder_epoch;
+    ks.hot.word.store(BumpSeq(ks.hot.word.load(std::memory_order_relaxed)),
+                  std::memory_order_relaxed);
     NoteLockAcquired(txn);
   }
   stats_->Add2(kStatLockGrants, kStatWrites);
   if (held != nullptr) {
-    *held = HeldLock{&ks, ks.holder_epoch,
-                     /*read=*/ks.read_holders.Contains(txn), /*write=*/true};
+    *held = HeldLock{&ks, &ks.hot,
+                     ks.hot.word.load(std::memory_order_relaxed),
+                     /*read=*/ks.read_holders.Contains(txn),
+                     /*write=*/true};
   }
   if (recorder_ != nullptr && trace != nullptr) {
     recorder_->EmitAccess(ks.key, *trace, next.value_or(kAbsentValue));
@@ -432,19 +688,24 @@ bool LockManager::TryReacquireRead(HeldLock& held, const TransactionId& txn,
   if (!held.read && !held.write) return false;
   KeyState& ks = *held.key;
   std::unique_lock<std::mutex> lk(ks.m);
-  if (ks.holder_epoch != held.epoch) return false;
-  // Epoch unchanged since our grant: no holder has been added, so every
+  EnsureInflatedLocked(ks);
+  if ((ks.hot.word.load(std::memory_order_relaxed) & kWordSeqMask) !=
+      (held.word & kWordSeqMask)) {
+    return false;
+  }
+  // Seq unchanged since our grant: no holder has been added, so every
   // write holder is still an ancestor of txn — the read is conflict-free.
   if (!held.read) {
     // Re-read under a write-only hold still registers the read lock,
     // exactly as the full path would.
     if (ks.read_holders.Insert(txn)) {
-      ++ks.holder_epoch;
+      ks.hot.word.store(BumpSeq(ks.hot.word.load(std::memory_order_relaxed)),
+                    std::memory_order_relaxed);
       NoteLockAcquired(txn);
     }
     held.read = true;
   }
-  held.epoch = ks.holder_epoch;
+  held.word = ks.hot.word.load(std::memory_order_relaxed);
   stats_->Add2(kStatLockGrants, kStatReads);
   const std::optional<int64_t> value = CurrentValue(ks);
   if (recorder_ != nullptr && trace != nullptr) {
@@ -461,12 +722,17 @@ bool LockManager::TryReacquireWrite(HeldLock& held, const TransactionId& txn,
   if (!held.write) return false;
   KeyState& ks = *held.key;
   std::unique_lock<std::mutex> lk(ks.m);
-  if (ks.holder_epoch != held.epoch) return false;
-  // Epoch unchanged since our write grant: txn is still the deepest
+  EnsureInflatedLocked(ks);
+  if ((ks.hot.word.load(std::memory_order_relaxed) & kWordSeqMask) !=
+      (held.word & kWordSeqMask)) {
+    return false;
+  }
+  // Seq unchanged since our write grant: txn is still the deepest
   // holder and nobody new joined — the write is conflict-free.
   const std::optional<int64_t> current = CurrentValue(ks);
   const std::optional<int64_t> next = mutator(current);
   (void)ks.write_holders.Put(txn, next);  // held: assign, never insert
+  held.word = ks.hot.word.load(std::memory_order_relaxed);
   stats_->Add2(kStatLockGrants, kStatWrites);
   if (recorder_ != nullptr && trace != nullptr) {
     recorder_->EmitAccess(ks.key, *trace, next.value_or(kAbsentValue));
@@ -475,8 +741,20 @@ bool LockManager::TryReacquireWrite(HeldLock& held, const TransactionId& txn,
   return true;
 }
 
-Result<std::optional<int64_t>> LockManager::ReacquireRead(
+Result<std::optional<int64_t>> LockManager::ReacquireReadCold(
     HeldLock& held, const TransactionId& txn, const AccessTraceInfo* trace) {
+  if (FastLanesEnabled()) {
+    KeyState& ks = *held.key;
+    // The inline seqlock lane (header) already missed. Stale or
+    // write-only handle on a (possibly still) uninflated key: retry as a
+    // fast cold grant — a sibling reader moving the seq must not
+    // escalate read-read sharing to the mutex path.
+    Result<std::optional<int64_t>> result = std::optional<int64_t>{};
+    if (TryFastAcquire(ks, txn, /*exclusive=*/false, nullptr, &held,
+                       &result)) {
+      return result;
+    }
+  }
   Result<std::optional<int64_t>> result = std::optional<int64_t>{};
   if (TryReacquireRead(held, txn, trace, &result)) return result;
   return AcquireReadOn(*held.key, txn, trace, &held);
@@ -485,14 +763,47 @@ Result<std::optional<int64_t>> LockManager::ReacquireRead(
 Result<std::optional<int64_t>> LockManager::ReacquireWrite(
     HeldLock& held, const TransactionId& txn, const Mutator& mutator,
     const AccessTraceInfo* trace) {
+  if (FastLanesEnabled()) {
+    KeyState& ks = *held.key;
+    // Held-write lane: one CAS from the exact granted word to word|MICRO
+    // proves the holder sets are untouched and txn is still the deepest
+    // writer; mutate its slot and the value cache in place. The word
+    // only changes if the write flips presence (a new value under the
+    // same holders keeps every sibling handle, including this one,
+    // exactly valid).
+    if (held.write && (held.word & (kWordInflated | kWordMicro)) == 0) {
+      uint64_t expected = held.word;
+      if (ks.hot.word.compare_exchange_strong(expected, held.word | kWordMicro,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+        const std::optional<int64_t> current =
+            (held.word & kWordPresent)
+                ? std::optional<int64_t>(
+                      ks.hot.value.load(std::memory_order_relaxed))
+                : std::nullopt;
+        const std::optional<int64_t> next = mutator(current);
+        (void)ks.write_holders.Put(txn, next);  // held: assign, not insert
+        const uint64_t nw = RefreshValueCache(ks, next, held.word);
+        held.word = nw;
+        ks.hot.word.store(nw, std::memory_order_release);
+        stats_->Bump(kStatFastWriteReacquires);
+        return next;
+      }
+    }
+    Result<std::optional<int64_t>> result = std::optional<int64_t>{};
+    if (TryFastAcquire(ks, txn, /*exclusive=*/true, &mutator, &held,
+                       &result)) {
+      return result;
+    }
+  }
   Result<std::optional<int64_t>> result = std::optional<int64_t>{};
   if (TryReacquireWrite(held, txn, mutator, trace, &result)) return result;
   return AcquireWriteOn(*held.key, txn, mutator, trace, &held);
 }
 
 // Batch-local bookkeeping: counter and lock-count deltas accumulated
-// while key mutexes are held, wakeup intents deduped by KeyState, all
-// flushed once after the last key mutex drops.
+// while key mutexes (or micro bits) are held, wakeup intents deduped by
+// KeyState, all flushed once after the last key mutex drops.
 struct LockManager::ReleaseScratch {
   bool track_counts = false;
   uint64_t inherited = 0;        // commit: lock handoffs (or releases)
@@ -568,7 +879,9 @@ void LockManager::CommitKeyLocked(KeyState& ks, const TransactionId& txn,
       case ReplaceOutcome::kAbsent:
         break;
       case ReplaceOutcome::kReplaced:
-        ++ks.holder_epoch;  // parent is a new holder (fast-lane fence)
+        // Parent is a new holder (fast-lane fence).
+        ks.hot.word.store(BumpSeq(ks.hot.word.load(std::memory_order_relaxed)),
+                      std::memory_order_relaxed);
         scratch.Note(parent, +1);
         [[fallthrough]];
       case ReplaceOutcome::kMerged:
@@ -582,7 +895,8 @@ void LockManager::CommitKeyLocked(KeyState& ks, const TransactionId& txn,
       case ReplaceOutcome::kAbsent:
         break;
       case ReplaceOutcome::kReplaced:
-        ++ks.holder_epoch;
+        ks.hot.word.store(BumpSeq(ks.hot.word.load(std::memory_order_relaxed)),
+                      std::memory_order_relaxed);
         scratch.Note(parent, +1);
         [[fallthrough]];
       case ReplaceOutcome::kMerged:
@@ -625,6 +939,83 @@ void LockManager::AbortKeyLocked(KeyState& ks, const TransactionId& txn,
   }
 }
 
+bool LockManager::TryFastRelease(KeyState& ks, const TransactionId& txn,
+                                 const TransactionId* parent,
+                                 ReleaseScratch& scratch) {
+  // Armed release failpoints must keep firing from the mutex-protected
+  // bodies (and must never sleep under the spin bit).
+  if (FailPoints::Armed(parent != nullptr ? FailPoints::kCommitInherit
+                                          : FailPoints::kAbortPurge)) {
+    return false;
+  }
+  uint64_t w;
+  if (!TryAcquireMicro(ks, &w)) return false;
+  // Uninflated ⇒ no parked waiters (nothing to wake) and no recorder
+  // (nothing to emit): the release is pure structure surgery plus the
+  // scratch's counter intents.
+  bool changed = false;
+  if (parent != nullptr) {
+    if (parent->IsRoot()) {
+      if (auto version = ks.write_holders.TryTake(txn)) {
+        scratch.Note(txn, -1);
+        ks.base = *version;
+        ++scratch.inherited;
+        changed = true;
+      }
+      if (ks.read_holders.Erase(txn)) {
+        scratch.Note(txn, -1);
+        ++scratch.inherited;
+        changed = true;
+      }
+    } else {
+      switch (ks.write_holders.ReplaceWithAncestor(txn, *parent)) {
+        case ReplaceOutcome::kAbsent:
+          break;
+        case ReplaceOutcome::kReplaced:
+          scratch.Note(*parent, +1);
+          [[fallthrough]];
+        case ReplaceOutcome::kMerged:
+          scratch.Note(txn, -1);
+          ++scratch.inherited;
+          changed = true;
+          break;
+      }
+      switch (ks.read_holders.ReplaceWithAncestor(txn, *parent)) {
+        case ReplaceOutcome::kAbsent:
+          break;
+        case ReplaceOutcome::kReplaced:
+          scratch.Note(*parent, +1);
+          [[fallthrough]];
+        case ReplaceOutcome::kMerged:
+          scratch.Note(txn, -1);
+          ++scratch.inherited;
+          changed = true;
+          break;
+      }
+    }
+  } else {
+    const size_t writes = ks.write_holders.EraseIf(
+        [&](const TransactionId& wh) { return txn.IsAncestorOf(wh); },
+        [&](const TransactionId& wh) {
+          scratch.Note(wh, -1);
+          ++scratch.discarded;
+        });
+    const size_t reads = ks.read_holders.EraseIf(
+        [&](const TransactionId& r) { return txn.IsAncestorOf(r); },
+        [&](const TransactionId& r) { scratch.Note(r, -1); });
+    changed = writes + reads > 0;
+  }
+  uint64_t nw = w;
+  if (changed) {
+    // Any structural change bumps the seq here (removals included, unlike
+    // the inflated path): the seqlock lane keys its value cache to the
+    // exact word, and an abort purge can move the current value.
+    nw = RefreshValueCache(ks, CurrentValue(ks), BumpSeq(w));
+  }
+  ks.hot.word.store(nw, std::memory_order_release);
+  return true;
+}
+
 template <typename KeyOf, typename HeldOf>
 void LockManager::ReleaseBatch(const TransactionId& txn,
                                const TransactionId* parent, size_t n,
@@ -664,23 +1055,33 @@ void LockManager::ReleaseBatch(const TransactionId& txn,
         const std::string& key = key_of(uncached[j].second);
         auto it = shard.keys.find(key);
         if (it == shard.keys.end()) {
-          it = shard.keys.emplace(key, std::make_unique<KeyState>(key)).first;
+          it = shard.keys
+                   .emplace(key, std::make_unique<KeyState>(
+                                     key, !options_.lock_word_enabled))
+                   .first;
         }
         states[uncached[j].second] = it->second.get();
       }
     }
   }
 
-  // Phase 2: per key, under that key's mutex only — inherit or purge,
-  // trace event, wakeup/count intents into the scratch. No notifies.
+  // Phase 2: per key — uninflated keys resolve entirely under the MICRO
+  // bit (no key mutex, no wakeups to pend); inflated (or contended)
+  // keys fall to that key's mutex: inherit or purge, trace event,
+  // wakeup/count intents into the scratch. No notifies. A key this
+  // release quiesces deflates back to the fast regime.
+  const bool fast = FastLanesEnabled();
   for (size_t i = 0; i < n; ++i) {
     KeyState& ks = *states[i];
+    if (fast && TryFastRelease(ks, txn, parent, scratch)) continue;
     std::lock_guard<std::mutex> lock(ks.m);
+    EnsureInflatedLocked(ks);
     if (parent != nullptr) {
       CommitKeyLocked(ks, txn, *parent, scratch);
     } else {
       AbortKeyLocked(ks, txn, scratch);
     }
+    MaybeDeflateLocked(ks);
   }
 
   // Phase 3: every key mutex is dropped. One bulk wait-graph call for
@@ -749,6 +1150,8 @@ std::vector<HotKey> LockManager::CollectHotKeys(size_t k) {
   // KeyStates are stable for the manager's lifetime, so collect the
   // pointers per shard first and read each key's counters under its own
   // mutex afterwards — no shard mutex is ever held across a key mutex.
+  // The wait counters are written only under ks.m (fast-word grants
+  // never wait), so no holder enumeration and no micro bit is needed.
   std::vector<KeyState*> states;
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> shard_lock(shard.m);
@@ -771,12 +1174,20 @@ void LockManager::SetBase(const std::string& key,
                           std::optional<int64_t> value) {
   KeyState& ks = GetKeyState(key);
   std::lock_guard<std::mutex> lock(ks.m);
+  WordSection section(ks);
   ks.base = value;
+  if (section.micro_held()) {
+    // The base feeds the value cache when no writer holds the key; bump
+    // the seq so any (preexisting) handle revalidates.
+    section.set_word(
+        RefreshValueCache(ks, CurrentValue(ks), BumpSeq(section.word())));
+  }
 }
 
 std::optional<int64_t> LockManager::ReadBase(const std::string& key) {
   KeyState& ks = GetKeyState(key);
   std::lock_guard<std::mutex> lock(ks.m);
+  WordSection section(ks);
   return ks.base;
 }
 
@@ -784,6 +1195,9 @@ LockManager::KeySnapshotForTest LockManager::SnapshotKeyForTest(
     const std::string& key) {
   KeyState& ks = GetKeyState(key);
   std::lock_guard<std::mutex> lock(ks.m);
+  // On an uninflated key ks.m alone does NOT exclude fast-word holders;
+  // the micro bit is held for the copy (without escalating the key).
+  WordSection section(ks);
   KeySnapshotForTest out;
   out.read_holders.assign(ks.read_holders.begin(), ks.read_holders.end());
   for (const VersionMap::Entry& e : ks.write_holders) {
@@ -791,7 +1205,8 @@ LockManager::KeySnapshotForTest LockManager::SnapshotKeyForTest(
     out.versions.emplace_back(e.id, e.value);
   }
   out.base = ks.base;
-  out.holder_epoch = ks.holder_epoch;
+  out.holder_epoch = section.word() & kWordSeqMask;
+  out.inflated = (section.word() & kWordInflated) != 0;
   return out;
 }
 

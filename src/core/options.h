@@ -102,6 +102,15 @@ struct EngineOptions {
   /// How many hot keys (by cumulative wait-ns) the contention profiler
   /// reports from ExportText()/ExportJson().
   uint32_t hot_key_top_k = 10;
+  /// Per-key atomic lock word (see DESIGN.md §5): uncontended grants,
+  /// read-read sharing and same-holder repeat accesses resolve with one
+  /// CAS (or one load) instead of the key mutex, escalating to the mutex
+  /// regime on conflict and deflating back when the key quiesces. When
+  /// false every key is born escalated — the pre-lock-word mutex-only
+  /// behavior, kept as an A/B ablation baseline. Tracing disables the
+  /// fast lanes at runtime regardless of this flag (trace emission
+  /// requires the mutex-ordered grant path).
+  bool lock_word_enabled = true;
 };
 
 }  // namespace nestedtx

@@ -48,6 +48,14 @@ StatsSnapshot EngineStats::Snapshot() const {
 #define NESTEDTX_STAT_ASSIGN(id, field) out.field = sums[id];
   NESTEDTX_STAT_COUNTERS(NESTEDTX_STAT_ASSIGN)
 #undef NESTEDTX_STAT_ASSIGN
+  // Fold the fast-lane counters into the aggregate accounting (a fast
+  // lane bumps only its own counter; see the header's X-list comment).
+  const uint64_t fast_reads = out.fast_read_grants + out.fast_read_reacquires;
+  const uint64_t fast_writes =
+      out.fast_write_grants + out.fast_write_reacquires;
+  out.lock_grants += fast_reads + fast_writes;
+  out.reads += fast_reads;
+  out.writes += fast_writes;
   return out;
 }
 

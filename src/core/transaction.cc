@@ -199,7 +199,7 @@ Result<std::optional<int64_t>> Transaction::LockedRead(
     Result<std::optional<int64_t>> r =
         locks.ReacquireRead(held, LockOwner(), trace);
     if (r.ok() &&
-        (held.epoch != before.epoch || held.read != before.read ||
+        (held.word != before.word || held.read != before.read ||
          held.write != before.write)) {
       CacheHeld(idx, key, held);
     }
@@ -222,7 +222,7 @@ Result<std::optional<int64_t>> Transaction::LockedWrite(
     Result<std::optional<int64_t>> r =
         locks.ReacquireWrite(held, LockOwner(), m, trace);
     if (r.ok() &&
-        (held.epoch != before.epoch || held.read != before.read ||
+        (held.word != before.word || held.read != before.read ||
          held.write != before.write)) {
       CacheHeld(idx, key, held);
     }
@@ -241,9 +241,30 @@ void Transaction::AddToAggregate(Value v) {
 }
 
 Result<std::optional<int64_t>> Transaction::TryGet(const std::string& key) {
+  // Repeat-read fast path: if we already hold `key`, try the seqlock
+  // lane in place on the cached handle. A hit proves the handle is
+  // current, so none of the general path's handle copy-out, access-id
+  // bookkeeping, or write-back happens. The guard re-states CheckActive
+  // with plain loads (no Status construction on the hot path): flat-2PL
+  // dooming needs the ancestor walk, so that mode — like exclusive-read
+  // mode and sampled spans (their wait accounting must stay complete) —
+  // takes the general path below. The lane itself bails when tracing is
+  // on or the word has moved.
+  const CcMode cc_mode = manager_->options().cc_mode;
+  if (manager_->locks().FastReadLanePossible() &&
+      cc_mode != CcMode::kExclusive && cc_mode != CcMode::kFlat2PL &&
+      !span_sampled_ && !returned_.load(std::memory_order_relaxed) &&
+      !doomed_.load(std::memory_order_relaxed) &&
+      !manager_->locks().IsDoomed(id_)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = FindKey(keys_, key);
+    if (it != keys_.end() && it->key == key) {
+      std::optional<int64_t> v;
+      if (manager_->locks().TryFastReadLane(it->held, &v)) return v;
+    }
+  }
   RETURN_IF_ERROR(CheckActive());
-  const bool exclusive_reads =
-      manager_->options().cc_mode == CcMode::kExclusive;
+  const bool exclusive_reads = cc_mode == CcMode::kExclusive;
   AccessTraceInfo info;
   LockManager::HeldLock held;
   bool have_held = false;

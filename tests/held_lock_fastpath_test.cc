@@ -87,6 +87,30 @@ TEST(HeldLockFastPathTest, FastPathEmitsIdenticalTraceEvents) {
   EXPECT_TRUE(CheckSeriallyCorrectForAll(*st, alpha, {}).ok());
 }
 
+// The fast-lane contract must hold identically with the lock word
+// disabled (every key born inflated, mutex-regime reacquire lanes):
+// the same repeat-access scenario, same values, no fast-word counters.
+TEST(HeldLockFastPathTest, RepeatAccessParityWithLockWordDisabled) {
+  EngineOptions o;
+  o.lock_word_enabled = false;
+  Database db(o);
+  db.Preload("k", 5);
+  auto t = db.Begin();
+  for (int i = 0; i < 50; ++i) {
+    auto v = t->TryGet("k");
+    ASSERT_TRUE(v.ok());
+    ASSERT_EQ(**v, 5 + i);
+    auto w = t->Add("k", 1);
+    ASSERT_TRUE(w.ok());
+    ASSERT_EQ(*w, 5 + i + 1);
+  }
+  ASSERT_TRUE(t->Commit().ok());
+  EXPECT_EQ(db.ReadCommitted("k"), std::optional<int64_t>(55));
+  const StatsSnapshot snap = db.stats().Snapshot();
+  EXPECT_EQ(snap.fast_read_reacquires + snap.fast_write_reacquires, 0u)
+      << snap.ToString();
+}
+
 // Deterministic invalidation: a committing child's write bumps the key's
 // holder epoch, so the parent's cached read handle goes stale and the
 // parent's re-read takes the full path — observing the version it just

@@ -1,0 +1,221 @@
+// The lock word (DESIGN.md §5) must be invisible except for speed:
+// values, holder sets, conflict sets and snapshots are identical with
+// the word on, off, or mid-escalation. These tests pin the two-regime
+// protocol's edges — inflation on conflict, deflation on quiescence,
+// the off switch, and the snapshot discipline that lets inspection
+// paths (SnapshotKeyForTest / ConflictsForTest / CollectHotKeys)
+// enumerate holders while fast-word traffic mutates the key with no
+// key mutex held (the regression test for the old "holder enumeration
+// happens under ks.m" assumption).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "core/lock_manager.h"
+#include "util/strings.h"
+
+namespace nestedtx {
+namespace {
+
+EngineOptions FastOptions(bool lock_word) {
+  EngineOptions o;
+  o.lock_word_enabled = lock_word;
+  o.lock_timeout = std::chrono::milliseconds(30);
+  return o;
+}
+
+// The same single-threaded nested scenario, word on vs. word off:
+// identical values and identical aggregate accounting, but only the
+// word-on run uses the fast lanes (mode-split counters are the proof
+// the intended lane actually served the accesses).
+TEST(LockWordTest, FastAndInflatedValuesAgree) {
+  for (const bool lock_word : {true, false}) {
+    Database db(FastOptions(lock_word));
+    db.Preload("k", 5);
+    auto parent = db.Begin();
+    for (int i = 0; i < 10; ++i) {
+      auto v = parent->TryGet("k");
+      ASSERT_TRUE(v.ok());
+      ASSERT_EQ(**v, 5 + i);
+      ASSERT_TRUE(parent->Add("k", 1).ok());
+    }
+    auto child = parent->BeginChild();
+    ASSERT_TRUE(child.ok());
+    ASSERT_TRUE((*child)->Add("k", 100).ok());
+    ASSERT_TRUE((*child)->Commit().ok());
+    auto v = parent->TryGet("k");
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(**v, 115);
+    ASSERT_TRUE(parent->Commit().ok());
+    EXPECT_EQ(db.ReadCommitted("k"), std::optional<int64_t>(115));
+
+    const StatsSnapshot snap = db.stats().Snapshot();
+    const uint64_t fast = snap.fast_read_grants + snap.fast_write_grants +
+                          snap.fast_read_reacquires +
+                          snap.fast_write_reacquires;
+    if (lock_word) {
+      EXPECT_GT(snap.fast_read_reacquires, 0u) << snap.ToString();
+      EXPECT_GT(snap.fast_write_reacquires, 0u) << snap.ToString();
+    } else {
+      EXPECT_EQ(fast, 0u) << snap.ToString();
+      EXPECT_EQ(snap.lock_word_deflations, 0u) << snap.ToString();
+    }
+  }
+}
+
+// A holder granted entirely by the fast word (key never inflated) is
+// visible to the snapshot and conflict surfaces, including the
+// read+write dual-holder dedupe ConflictsForTest exposes.
+TEST(LockWordTest, SnapshotAndConflictsSeeFastWordHolders) {
+  EngineStats stats;
+  LockManager lm(FastOptions(true), &stats);
+  lm.SetBase("k", 7);
+  const TransactionId t1 = TransactionId::Root().Child(1);
+  ASSERT_TRUE(lm.AcquireRead(t1, "k").ok());
+  ASSERT_TRUE(
+      lm.AcquireWrite(t1, "k", [](std::optional<int64_t> v) {
+          return v.value_or(0) + 1;
+        }).ok());
+
+  LockManager::KeySnapshotForTest snap = lm.SnapshotKeyForTest("k");
+  EXPECT_FALSE(snap.inflated) << "uncontended key must stay fast";
+  ASSERT_EQ(snap.read_holders.size(), 1u);
+  EXPECT_TRUE(snap.read_holders[0] == t1);
+  ASSERT_EQ(snap.write_holders.size(), 1u);
+  EXPECT_TRUE(snap.write_holders[0] == t1);
+  EXPECT_EQ(snap.base, std::optional<int64_t>(7));
+
+  // A non-ancestor requester conflicts with t1 exactly once even though
+  // t1 holds both modes (the wait-graph dedupe contract).
+  const TransactionId t2 = TransactionId::Root().Child(2);
+  const auto conflicts = lm.ConflictsForTest("k", t2, /*exclusive=*/true);
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_TRUE(conflicts[0] == t1);
+
+  lm.OnAbort(t1, {"k"});
+  EXPECT_EQ(stats.Snapshot().lock_word_inflations, 0u);
+}
+
+// Regression for the holder-enumeration snapshot discipline: inspection
+// surfaces must produce coherent holder sets while fast-word traffic
+// mutates the key under the micro bit alone — never assuming ks.m
+// protects an uninflated key. Run under TSan this also proves the
+// accesses are race-free.
+TEST(LockWordTest, ConcurrentSnapshotDuringFastTraffic) {
+  EngineStats stats;
+  LockManager lm(FastOptions(true), &stats);
+  lm.SetBase("k", 1);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 3; ++w) {
+    workers.emplace_back([&lm, &stop, w] {
+      uint32_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Distinct roots: read-read sharing keeps the key uninflated.
+        const TransactionId txn =
+            TransactionId::Root().Child(uint32_t(w) * 100000u + i++);
+        EXPECT_TRUE(lm.AcquireRead(txn, "k").ok());
+        lm.OnAbort(txn, {"k"});
+      }
+    });
+  }
+  const TransactionId other = TransactionId::Root().Child(999999u);
+  for (int i = 0; i < 2000; ++i) {
+    LockManager::KeySnapshotForTest snap = lm.SnapshotKeyForTest("k");
+    // Holder sets are copied atomically w.r.t. fast traffic: every
+    // observed holder is a live reader, and the base never wavers.
+    EXPECT_EQ(snap.base, std::optional<int64_t>(1));
+    EXPECT_EQ(snap.write_holders.size(), 0u);
+    EXPECT_LE(snap.read_holders.size(), 3u);
+    const auto conflicts = lm.ConflictsForTest("k", other, true);
+    EXPECT_LE(conflicts.size(), 3u);
+    (void)lm.CollectHotKeys(4);
+  }
+  stop.store(true);
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(stats.Snapshot().lock_word_inflations, 0u)
+      << "read-read sharing must not escalate";
+}
+
+// A would-be waiter escalates the key to the mutex regime; releasing the
+// last holder with no waiters hands it back. The round trip is visible
+// in the inflation/deflation counters and the snapshot's inflated bit,
+// and the key serves fast grants again afterwards.
+TEST(LockWordTest, InflationOnConflictDeflationOnQuiesce) {
+  EngineStats stats;
+  LockManager lm(FastOptions(true), &stats);
+  lm.SetBase("k", 0);
+  const TransactionId writer = TransactionId::Root().Child(1);
+  const TransactionId reader = TransactionId::Root().Child(2);
+  ASSERT_TRUE(lm.AcquireWrite(writer, "k", [](std::optional<int64_t>) {
+                  return 1;
+                }).ok());
+  EXPECT_FALSE(lm.SnapshotKeyForTest("k").inflated);
+
+  // Non-ancestor reader vs. write holder: must wait, so must inflate;
+  // the 30ms timeout then bounds the test.
+  EXPECT_TRUE(lm.AcquireRead(reader, "k").status().IsTimedOut());
+  EXPECT_TRUE(lm.SnapshotKeyForTest("k").inflated);
+  EXPECT_GE(stats.Snapshot().lock_word_inflations, 1u);
+
+  // Last holder leaves, no waiters remain: the release deflates.
+  lm.OnAbort(writer, {"k"});
+  EXPECT_FALSE(lm.SnapshotKeyForTest("k").inflated);
+  EXPECT_GE(stats.Snapshot().lock_word_deflations, 1u);
+
+  // And the key is genuinely fast again.
+  const uint64_t fast_before = stats.Snapshot().fast_read_grants;
+  ASSERT_TRUE(lm.AcquireRead(reader, "k").ok());
+  EXPECT_EQ(stats.Snapshot().fast_read_grants, fast_before + 1);
+  lm.OnAbort(reader, {"k"});
+}
+
+// Handles inherited up the commit chain keep their fast-lane privileges:
+// after a child commits, the parent's next read re-validates cold (the
+// commit moved the word) and every read after that rides the seqlock
+// lane again.
+TEST(LockWordTest, InheritedHandleRejoinsFastLane) {
+  Database db(FastOptions(true));
+  db.Preload("k", 5);
+  auto parent = db.Begin();
+  ASSERT_TRUE(parent->TryGet("k").ok());
+  auto child = parent->BeginChild();
+  ASSERT_TRUE(child.ok());
+  ASSERT_TRUE((*child)->Add("k", 10).ok());
+  ASSERT_TRUE((*child)->Commit().ok());
+
+  auto v1 = parent->TryGet("k");  // cold: the commit bumped the seq
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(**v1, 15);
+  const uint64_t fast_before = db.stats().Snapshot().fast_read_reacquires;
+  auto v2 = parent->TryGet("k");  // fast again on the refreshed handle
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(**v2, 15);
+  EXPECT_EQ(db.stats().Snapshot().fast_read_reacquires, fast_before + 1);
+  ASSERT_TRUE(parent->Commit().ok());
+}
+
+// lock_word_enabled = false births every key inflated: the mutex-only
+// engine, with the word machinery reduced to an always-false branch.
+TEST(LockWordTest, DisabledKeysAreBornInflated) {
+  EngineStats stats;
+  LockManager lm(FastOptions(false), &stats);
+  lm.SetBase("k", 3);
+  const TransactionId t1 = TransactionId::Root().Child(1);
+  ASSERT_TRUE(lm.AcquireRead(t1, "k").ok());
+  LockManager::KeySnapshotForTest snap = lm.SnapshotKeyForTest("k");
+  EXPECT_TRUE(snap.inflated);
+  ASSERT_EQ(snap.read_holders.size(), 1u);
+  lm.OnAbort(t1, {"k"});
+  const StatsSnapshot s = stats.Snapshot();
+  EXPECT_EQ(s.fast_read_grants, 0u);
+  EXPECT_EQ(s.lock_word_inflations, 0u) << "born inflated, not escalated";
+  EXPECT_EQ(s.lock_word_deflations, 0u);
+}
+
+}  // namespace
+}  // namespace nestedtx

@@ -27,6 +27,10 @@ namespace bench {
 
 struct WorkloadConfig {
   CcMode mode = CcMode::kMossRW;
+  /// Conflict scheduling (EngineOptions::cc_protocol): deadlock
+  /// detection (default), wait-die or no-wait. The E15 shootout sweeps
+  /// this axis; every other bench pins the default so baselines carry.
+  CcProtocol cc_protocol = CcProtocol::kDetect;
   int threads = 8;
   int num_keys = 16;
   double zipf_theta = 0.0;       // key popularity skew
@@ -69,6 +73,7 @@ struct WorkloadResult {
   uint64_t lock_waits = 0;
   uint64_t deadlocks = 0;
   uint64_t timeouts = 0;
+  uint64_t prevention_aborts = 0;  // wait-die / no-wait deaths
   // Engine latency histograms at the end of the run (all-zero when the
   // workload ran with metrics_enabled = false).
   HistogramSnapshot lock_wait_hist;
@@ -188,6 +193,7 @@ inline WorkloadResult RunWorkload(const WorkloadConfig& raw_cfg) {
   if (Smoke()) cfg.duration_seconds = std::min(cfg.duration_seconds, 0.02);
   EngineOptions options;
   options.cc_mode = cfg.mode;
+  options.cc_protocol = cfg.cc_protocol;
   options.lock_timeout = cfg.lock_timeout;
   options.metrics_enabled = cfg.metrics_enabled;
   options.span_sample_one_in = cfg.span_sample_one_in;
@@ -249,6 +255,7 @@ inline WorkloadResult RunWorkload(const WorkloadConfig& raw_cfg) {
   result.lock_waits = stats.lock_waits;
   result.deadlocks = stats.deadlocks;
   result.timeouts = stats.lock_timeouts;
+  result.prevention_aborts = stats.prevention_aborts;
   MetricsRegistry& metrics = db.metrics();
   result.lock_wait_hist = metrics.SnapshotHistogram(kHistLockWaitNs);
   result.txn_hist = metrics.SnapshotHistogram(kHistTxnNs);
@@ -265,6 +272,7 @@ inline JsonResultFile::Entry& AddWorkloadEntry(JsonResultFile& out,
                                                const WorkloadResult& r) {
   return out.Add(name)
       .Str("mode", CcModeName(cfg.mode))
+      .Str("cc_protocol", CcProtocolName(cfg.cc_protocol))
       .Int("threads", cfg.threads)
       .Int("num_keys", cfg.num_keys)
       .Num("zipf_theta", cfg.zipf_theta)
@@ -283,6 +291,7 @@ inline JsonResultFile::Entry& AddWorkloadEntry(JsonResultFile& out,
       .Int("lock_waits", r.lock_waits)
       .Int("deadlocks", r.deadlocks)
       .Int("timeouts", r.timeouts)
+      .Int("prevention_aborts", r.prevention_aborts)
       // Latency histogram digests (log2-bucket upper bounds, so p-values
       // are conservative; 0 when the histogram recorded nothing).
       .Int("txn_p50_ns", r.txn_hist.Percentile(0.50))

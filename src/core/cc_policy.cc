@@ -1,0 +1,158 @@
+#include "core/cc_policy.h"
+
+#include <utility>
+
+#include "util/strings.h"
+
+namespace nestedtx {
+namespace {
+
+// Deadlock detection: the engine's historical wait/victim machinery,
+// now policy-private. Owns the wait-for graph, honors the
+// DeadlockPolicy sub-knob (kTimeoutOnly waits unregistered — deadlocks
+// surface as timeouts) and the VictimPolicy choice, and maintains the
+// kFewestLocksHeld lock-count index when that policy demands it.
+class DetectPolicy : public ConflictPolicy {
+ public:
+  explicit DetectPolicy(const EngineOptions& options)
+      : use_graph_(options.deadlock_policy ==
+                   DeadlockPolicy::kWaitForGraph),
+        track_counts_(use_graph_ && options.victim_policy ==
+                                        VictimPolicy::kFewestLocksHeld) {
+    graph_.SetVictimPolicy(options.victim_policy);
+  }
+
+  Decision OnConflict(const TransactionId& txn,
+                      const std::vector<TransactionId>& holders,
+                      const WaitGraph::WaiterInfo& info,
+                      std::vector<WaitGraph::Wakeup>* wakeups) override {
+    Decision d;
+    if (!use_graph_) return d;  // kTimeoutOnly: wait, unregistered
+    const Status reg = graph_.AddWait(txn, holders, info, wakeups);
+    if (!reg.ok()) {
+      // The registration would have closed a cycle and the victim
+      // policy picked the requester; the rejected AddWait erased any
+      // previous edges, so nothing is registered.
+      d.action = Decision::Action::kAbort;
+      d.status = reg;
+      return d;
+    }
+    d.registered = true;
+    return d;
+  }
+
+  bool TakeVictim(const TransactionId& txn) override {
+    return use_graph_ && graph_.TakeVictim(txn);
+  }
+
+  void OnWaitEnd(const TransactionId& txn) override {
+    graph_.RemoveWait(txn);
+  }
+
+  void OnTransactionEnd(const TransactionId& txn) override {
+    if (use_graph_) graph_.RemoveWait(txn);
+  }
+
+  bool TracksLockCounts() const override { return track_counts_; }
+
+  void NoteLockAcquired(const TransactionId& txn) override {
+    if (track_counts_) graph_.NoteLockAcquired(txn);
+  }
+
+  void ApplyLockCountDeltas(
+      const std::vector<WaitGraph::LockCountDelta>& deltas) override {
+    graph_.ApplyLockCountDeltas(deltas);
+  }
+
+  uint64_t LocksHeldBy(const TransactionId& txn) const override {
+    return track_counts_ ? graph_.LocksHeldBy(txn) : 0;
+  }
+
+  size_t NumWaiters() const override { return graph_.NumWaiters(); }
+
+  WaitGraph* graph() override { return &graph_; }
+
+  const char* Name() const override {
+    return CcProtocolName(CcProtocol::kDetect);
+  }
+
+ private:
+  const bool use_graph_;
+  const bool track_counts_;
+  WaitGraph graph_;
+};
+
+// Wait-die prevention. Stateless: the decision is a pure function of
+// the requester's and holders' ids. The requester waits iff it is older
+// than EVERY conflicting holder under the TransactionId lexicographic
+// order — cross-tree, path[0] (the top-level begin ordinal) decides, so
+// age is begin order; within a tree a prefix orders before its
+// extensions, so a parent blocked on its own live descendant counts as
+// "older" and waits (that wait resolves when the child returns — the
+// same relation the detection graph never edges). Every wait therefore
+// runs strictly young->old along a total order: the wait relation is
+// acyclic and deadlock cannot form.
+class WaitDiePolicy : public ConflictPolicy {
+ public:
+  Decision OnConflict(const TransactionId& txn,
+                      const std::vector<TransactionId>& holders,
+                      const WaitGraph::WaiterInfo& info,
+                      std::vector<WaitGraph::Wakeup>* wakeups) override {
+    (void)info;
+    (void)wakeups;
+    Decision d;
+    for (const TransactionId& h : holders) {
+      if (!(txn < h)) {
+        d.action = Decision::Action::kAbort;
+        d.prevention = true;
+        d.status = Status::Deadlock(
+            StrCat(txn, " dies (wait-die: conflicts with older ", h, ")"));
+        return d;
+      }
+    }
+    return d;  // older than every holder: wait
+  }
+
+  const char* Name() const override {
+    return CcProtocolName(CcProtocol::kWaitDie);
+  }
+};
+
+// No-wait prevention: any conflict is an immediate retryable abort.
+class NoWaitPolicy : public ConflictPolicy {
+ public:
+  Decision OnConflict(const TransactionId& txn,
+                      const std::vector<TransactionId>& holders,
+                      const WaitGraph::WaiterInfo& info,
+                      std::vector<WaitGraph::Wakeup>* wakeups) override {
+    (void)info;
+    (void)wakeups;
+    Decision d;
+    d.action = Decision::Action::kAbort;
+    d.prevention = true;
+    d.status = Status::Deadlock(StrCat(
+        txn, " dies (no-wait: ", holders.size(), " conflicting holders)"));
+    return d;
+  }
+
+  const char* Name() const override {
+    return CcProtocolName(CcProtocol::kNoWait);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ConflictPolicy> MakeConflictPolicy(
+    const EngineOptions& options) {
+  switch (options.cc_protocol) {
+    case CcProtocol::kDetect:
+      return std::make_unique<DetectPolicy>(options);
+    case CcProtocol::kWaitDie:
+      return std::make_unique<WaitDiePolicy>();
+    case CcProtocol::kNoWait:
+      return std::make_unique<NoWaitPolicy>();
+  }
+  return std::make_unique<DetectPolicy>(options);
+}
+
+}  // namespace nestedtx

@@ -154,21 +154,18 @@ LockManager::LockManager(const EngineOptions& options, EngineStats* stats,
     : options_(options),
       stats_(stats),
       metrics_(metrics),
-      track_lock_counts_(
-          options.deadlock_policy == DeadlockPolicy::kWaitForGraph &&
-          options.victim_policy == VictimPolicy::kFewestLocksHeld),
-      shards_(options.lock_table_shards) {
-  wait_graph_.SetVictimPolicy(options.victim_policy);
-}
+      policy_(MakeConflictPolicy(options)),
+      track_lock_counts_(policy_->TracksLockCounts()),
+      shards_(options.lock_table_shards) {}
 
 void LockManager::NoteLockAcquired(const TransactionId& txn) {
   if (!track_lock_counts_) return;
-  wait_graph_.NoteLockAcquired(txn);
+  policy_->NoteLockAcquired(txn);
 }
 
 uint64_t LockManager::LocksHeldBy(const TransactionId& txn) const {
   if (!track_lock_counts_) return 0;
-  return wait_graph_.LocksHeldBy(txn);
+  return policy_->LocksHeldBy(txn);
 }
 
 LockManager::~LockManager() = default;
@@ -353,20 +350,37 @@ Status LockManager::WaitForGrant(KeyState& ks,
                                  const TransactionId& txn, bool exclusive) {
   const auto deadline =
       std::chrono::steady_clock::now() + options_.lock_timeout;
-  const bool use_graph =
-      options_.deadlock_policy == DeadlockPolicy::kWaitForGraph;
   bool waited = false;
   bool registered = false;
   bool parked = false;
   // Every exit — grant, deadlock, timeout, cancellation, injected fault —
-  // must clear the wait-graph entry and the park-table entry. A return
-  // that skips RemoveWait leaves a stale edge behind, and stale edges
-  // make unrelated transactions see phantom cycles (and spuriously
+  // must clear the policy's wait registration and the park-table entry.
+  // A return that skips OnWaitEnd leaves a stale edge behind, and stale
+  // edges make unrelated transactions see phantom cycles (and spuriously
   // deadlock) forever after.
   auto unregister = MakeCleanup([&] {
-    if (registered) wait_graph_.RemoveWait(txn);
+    if (registered) policy_->OnWaitEnd(txn);
     if (parked) UnparkWaiter(txn, &ks);
   });
+  // Terminal-status precedence is pinned: victim > doomed > granted >
+  // timed out, re-checked in that order at EVERY classification site (the
+  // loop top, the doom branches, the pre-park refusal, the deadline
+  // branch). A transaction victimized by a cycle check while an ancestor
+  // abort dooms it concurrently must report exactly one terminal status —
+  // Deadlock — whichever notification wakes it first; letting the wake
+  // race decide put the outcome (and its counter) on whichever path won.
+  auto take_victim = [&]() -> bool {
+    if (registered && policy_->TakeVictim(txn)) {
+      registered = false;  // TakeVictim consumed the entry
+      return true;
+    }
+    return false;
+  };
+  auto victim_status = [&]() -> Status {
+    stats_->Add2(kStatDeadlocks, kStatDeadlockVictimOther);
+    return Status::Deadlock(
+        StrCat(txn, " chosen as deadlock victim while waiting"));
+  };
   // Wait-latency accounting, armed only once this request actually
   // parks (wait_start_ns below) so the no-conflict grant path never
   // reads the clock. Every exit — grant, deadlock, timeout,
@@ -394,12 +408,7 @@ Status LockManager::WaitForGrant(KeyState& ks,
     // Another transaction's cycle check may have picked us as the victim
     // while we slept; its notification is delivered under ks.m, so the
     // mark cannot race past this check into our next wait.
-    if (registered && wait_graph_.TakeVictim(txn)) {
-      registered = false;  // TakeVictim consumed the entry
-      stats_->Add2(kStatDeadlocks, kStatDeadlockVictimOther);
-      return Status::Deadlock(
-          StrCat(txn, " chosen as deadlock victim while waiting"));
-    }
+    if (take_victim()) return victim_status();
     // Orphan check on every pass: an ancestor abort dooms this subtree
     // mid-wait, and the doom's wakeup lands here — return Cancelled
     // instead of re-parking for the rest of the lock timeout. (Checked
@@ -407,6 +416,10 @@ Status LockManager::WaitForGrant(KeyState& ks,
     // already-parked wakeups, where the park-table entry guarantees the
     // doom notified our cv.)
     if (IsDoomed(txn)) {
+      // A victim mark delivered while IsDoomed scanned the registry must
+      // still win (precedence above): consume it before reporting the
+      // doom.
+      if (take_victim()) return victim_status();
       if (waited) stats_->Add(kStatWaitsCancelled);
       return Status::Cancelled(
           StrCat(txn, " cancelled while waiting (subtree doomed by "
@@ -414,19 +427,28 @@ Status LockManager::WaitForGrant(KeyState& ks,
     }
     std::vector<TransactionId> conflicts = Conflicts(ks, txn, exclusive);
     if (conflicts.empty()) return Status::OK();
-    if (use_graph) {
+    {
       WaitGraph::WaiterInfo info;
       info.mutex = &ks.m;
       info.cv = &ks.cv;
       info.locks_held = LocksHeldBy(txn);
       wakeups.clear();
-      Status reg = wait_graph_.AddWait(txn, conflicts, info, &wakeups);
-      if (!reg.ok()) {
-        registered = false;  // the rejected registration erased the entry
-        stats_->Add2(kStatDeadlocks, kStatDeadlockVictimSelf);
-        return reg;  // Deadlock; this requester is the victim
+      const ConflictPolicy::Decision d =
+          policy_->OnConflict(txn, conflicts, info, &wakeups);
+      if (d.action == ConflictPolicy::Decision::Action::kAbort) {
+        registered = false;  // a rejecting policy never leaves an entry
+        if (d.prevention) {
+          // A prevention-rule death (wait-die / no-wait), decided under
+          // the inflated key's mutex: its own counter, distinct from
+          // detected cycles. The requester retries under a fresh id.
+          stats_->Add(kStatPreventionAborts);
+        } else {
+          // Detection picked the requester at its own registration.
+          stats_->Add2(kStatDeadlocks, kStatDeadlockVictimSelf);
+        }
+        return d.status;
       }
-      registered = true;
+      registered = d.registered;
       if (!wakeups.empty()) {
         // Our registration victimized other waiters. Drop our key mutex
         // (never hold two), then for each distinct victim slot pass
@@ -470,6 +492,12 @@ Status LockManager::WaitForGrant(KeyState& ks,
       // our cv through a ks.m mutex-pass) or we see its root here and
       // never park — the one ordering the loop-top check cannot close.
       if (ParkWaiter(txn, &ks)) {
+        // Doomed before ever parking — but a cycle check may have
+        // victimized this (already registered) waiter inside the same
+        // window. Victim precedence holds here too: pre-fix this return
+        // skipped the check, so the terminal status depended on which
+        // notification landed first.
+        if (take_victim()) return victim_status();
         stats_->Add(kStatWaitsCancelled);
         return Status::Cancelled(
             StrCat(txn, " cancelled before parking (subtree doomed by "
@@ -502,16 +530,12 @@ Status LockManager::WaitForGrant(KeyState& ks,
       // parked). Classifying by the cv result alone misreports those
       // wakes as Timeout — the caller then retries a transaction that
       // was in fact cancelled, and the outcome lands on the wrong
-      // counter. Re-check the definitive state in the loop-top
-      // precedence order (victim > doomed > granted > timed out) so
-      // every wake resolves to exactly one outcome and one counter.
-      if (registered && wait_graph_.TakeVictim(txn)) {
-        registered = false;  // TakeVictim consumed the entry
-        stats_->Add2(kStatDeadlocks, kStatDeadlockVictimOther);
-        return Status::Deadlock(
-            StrCat(txn, " chosen as deadlock victim while waiting"));
-      }
+      // counter. Re-check the definitive state in the pinned precedence
+      // order (victim > doomed > granted > timed out) so every wake
+      // resolves to exactly one outcome and one counter.
+      if (take_victim()) return victim_status();
       if (IsDoomed(txn)) {
+        if (take_victim()) return victim_status();
         stats_->Add(kStatWaitsCancelled);
         return Status::Cancelled(
             StrCat(txn, " cancelled while waiting (subtree doomed by "
@@ -1084,11 +1108,11 @@ void LockManager::ReleaseBatch(const TransactionId& txn,
     MaybeDeflateLocked(ks);
   }
 
-  // Phase 3: every key mutex is dropped. One bulk wait-graph call for
-  // the whole batch's lock counts, one striped-counter bump per stat,
+  // Phase 3: every key mutex is dropped. One bulk policy call for the
+  // whole batch's lock counts, one striped-counter bump per stat,
   // then the coalesced wakeups — woken waiters grab a free mutex.
   if (!scratch.deltas.empty()) {
-    wait_graph_.ApplyLockCountDeltas(scratch.deltas);
+    policy_->ApplyLockCountDeltas(scratch.deltas);
   }
   if (scratch.inherited > 0) {
     stats_->Add(kStatLocksInherited, scratch.inherited);

@@ -10,9 +10,14 @@
 // ancestor. On commit, a transaction's locks and version pass to its
 // parent; on abort they are discarded.
 //
-// Blocking: conflicting requests wait on the key's condition variable,
-// registering in the WaitGraph (victim = requester on cycle) or bounded
-// by the configured timeout.
+// Blocking: a conflicting request's fate is the ConflictPolicy's call
+// (EngineOptions::cc_protocol; see core/cc_policy.h): under detection it
+// waits on the key's condition variable, registered in the policy's
+// wait-for graph (or unregistered, bounded by the timeout, under
+// kTimeoutOnly); under wait-die an older requester waits and a younger
+// one dies; under no-wait every conflict dies. Deaths are retryable
+// Status::Deadlock, and always happen on the inflated slow path — a
+// policy abort is a conflict event, never a fast-path spin.
 //
 // Lock word (two-regime concurrency control, DESIGN.md §5): each key
 // carries one atomic 64-bit word packing an INFLATED escalation bit, a
@@ -105,6 +110,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/cc_policy.h"
 #include "core/metrics.h"
 #include "core/options.h"
 #include "core/stats.h"
@@ -298,7 +304,16 @@ class LockManager {
   void SetBase(const std::string& key, std::optional<int64_t> value);
   std::optional<int64_t> ReadBase(const std::string& key);
 
-  WaitGraph& wait_graph() { return wait_graph_; }
+  /// The conflict-scheduling policy (EngineOptions::cc_protocol): who
+  /// waits, who dies, and — under detection — the wait-graph/victim
+  /// machinery, all behind one interface.
+  ConflictPolicy& policy() { return *policy_; }
+  const ConflictPolicy& policy() const { return *policy_; }
+
+  /// The detection policy's wait graph (test/diagnostic surface; valid
+  /// only under CcProtocol::kDetect, the default — prevention policies
+  /// have no graph).
+  WaitGraph& wait_graph() { return *policy_->graph(); }
 
   /// Contention profiler: the `k` keys with the highest cumulative
   /// lock-wait time (ties broken by key), from per-key counters the wait
@@ -318,7 +333,7 @@ class LockManager {
 
   /// Locks currently held by `txn` (0 unless the victim policy is
   /// kFewestLocksHeld, the only mode that pays for the tracking). The
-  /// index itself lives in the WaitGraph, its only consumer.
+  /// index itself lives in the detection policy, its only consumer.
   uint64_t LocksHeldBy(const TransactionId& txn) const;
 
   /// Full per-key state dump for equivalence tests: holder sets, version
@@ -463,7 +478,7 @@ class LockManager {
   EngineOptions options_;
   EngineStats* stats_;
   MetricsRegistry* metrics_;  // may be null; see constructor
-  WaitGraph wait_graph_;
+  std::unique_ptr<ConflictPolicy> policy_;
   EngineTraceRecorder* recorder_ = nullptr;
 
   const bool track_lock_counts_;

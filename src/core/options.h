@@ -64,8 +64,41 @@ enum class VictimPolicy {
 
 const char* VictimPolicyName(VictimPolicy policy);
 
+/// How lock conflicts are scheduled — the pluggable CC-protocol seam.
+/// The paper's Theorem 34 is protocol-agnostic at the trace level: any
+/// discipline whose grants respect Moss's compatibility rule yields a
+/// serially correct schedule, so the engine is free to swap the conflict
+/// scheduler underneath and re-certify on recorded traces. The protocols
+/// differ only in WHAT HAPPENS to a conflicting requester (wait, wait
+/// conditionally, or die); the grant rule itself never changes.
+enum class CcProtocol {
+  /// Deadlock detection (the default, and the engine's historical
+  /// behaviour): conflicting requesters wait; a wait-for graph detects
+  /// cycles and the configured DeadlockPolicy / VictimPolicy knobs pick
+  /// who dies. The wait graph and detector are private to this protocol.
+  kDetect,
+  /// Wait-die prevention: an OLDER requester waits, a YOUNGER one dies
+  /// immediately with Status::Deadlock (retried under a fresh, younger
+  /// timestamp). Age is the packed TransactionId's lexicographic order —
+  /// path[0] is the top-level begin ordinal, so cross-tree age is begin
+  /// order and a parent is older than its descendants. Waits then only
+  /// ever run young→old, which is acyclic: no deadlock can form and no
+  /// detector is needed.
+  kWaitDie,
+  /// No-wait prevention: any conflict is an immediate Status::Deadlock
+  /// back to the retry layer. Nothing ever blocks on a lock, so there is
+  /// nothing to detect; throughput is bought with retry churn.
+  kNoWait,
+};
+
+const char* CcProtocolName(CcProtocol protocol);
+
 struct EngineOptions {
   CcMode cc_mode = CcMode::kMossRW;
+  /// Conflict-scheduling protocol (see CcProtocol). deadlock_policy and
+  /// victim_policy are sub-knobs of kDetect and ignored by the
+  /// prevention protocols.
+  CcProtocol cc_protocol = CcProtocol::kDetect;
   DeadlockPolicy deadlock_policy = DeadlockPolicy::kWaitForGraph;
   VictimPolicy victim_policy = VictimPolicy::kRequester;
   /// Upper bound on any single lock wait (also the kTimeoutOnly horizon).

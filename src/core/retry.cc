@@ -26,7 +26,9 @@ uint64_t RetryBackoffDelayUs(const RetryPolicy& policy,
 }
 
 RetryExecutor::RetryExecutor(Database* db, RetryPolicy policy)
-    : db_(db), policy_(policy) {
+    : db_(db),
+      policy_(policy),
+      prevention_scopes_(db->options().cc_protocol != CcProtocol::kDetect) {
   if (policy_.max_attempts < 1) policy_.max_attempts = 1;
   if (policy_.max_attempts_top < 1) {
     policy_.max_attempts_top = policy_.max_attempts;
@@ -109,6 +111,13 @@ Status RetryExecutor::Run(const Database::TxnBody& body) {
 
   Status last = Status::Internal("no attempts made");
   bool budget_exhausted = false;
+  // Root scope: every top-level retry loop jitters from the same stream
+  // (historical behaviour, load-bearing for detect-mode bench baselines).
+  // Prevention protocols instead re-seed from each failed attempt's own
+  // id — see prevention_scopes_ — or two opposite-order loops that abort
+  // each other on attempt n sleep identical delays and abort each other
+  // on attempt n+1, forever.
+  TransactionId backoff_scope;
   for (int attempt = 0; attempt < policy_.max_attempts_top; ++attempt) {
     if (attempt > 0) {
       if (!ConsumeRetry(tree.get())) {
@@ -116,13 +125,14 @@ Status RetryExecutor::Run(const Database::TxnBody& body) {
         break;
       }
       db_->stats().Add(kStatRetriesAttempted);
-      const Status injected = Backoff(TransactionId(), attempt);
+      const Status injected = Backoff(backoff_scope, attempt);
       if (!injected.ok()) {
         last = injected;  // injected fault consumes the attempt
         continue;
       }
     }
     std::unique_ptr<Transaction> txn = db_->Begin();
+    if (prevention_scopes_) backoff_scope = txn->id();
     txn->NoteRetryAttempt(static_cast<uint32_t>(attempt));
     const uint32_t top_index = txn->id()[0];
     RegisterTree(top_index, tree);
@@ -165,6 +175,10 @@ Status RetryExecutor::RunChild(Transaction& parent,
 
   Status last = Status::Internal("no attempts made");
   bool budget_exhausted = false;
+  // Same livelock surface as Run(): siblings of one parent share the
+  // parent-id scope, so under prevention the scope tracks the failed
+  // child instead (fresh child indices per attempt).
+  TransactionId backoff_scope = parent.id();
   for (int attempt = 0; attempt < policy_.max_attempts; ++attempt) {
     if (attempt > 0) {
       if (!ConsumeRetry(tree.get())) {
@@ -172,7 +186,7 @@ Status RetryExecutor::RunChild(Transaction& parent,
         break;
       }
       db_->stats().Add(kStatRetriesAttempted);
-      const Status injected = Backoff(parent.id(), attempt);
+      const Status injected = Backoff(backoff_scope, attempt);
       if (!injected.ok()) {
         last = injected;
         continue;
@@ -189,6 +203,7 @@ Status RetryExecutor::RunChild(Transaction& parent,
       }
       return child.status();
     }
+    if (prevention_scopes_) backoff_scope = (*child)->id();
     (*child)->NoteRetryAttempt(static_cast<uint32_t>(attempt));
     Status s = body(**child);
     if (s.ok()) {

@@ -132,6 +132,16 @@ class RetryExecutor {
 
   Database* db_;
   RetryPolicy policy_;
+  /// Under a prevention protocol (wait-die / no-wait) every conflict is
+  /// an abort, so two retry loops whose delays coincide re-collide on
+  /// every attempt — with the historical shared backoff scope (all
+  /// top-level retries jitter from the root scope) that coincidence is
+  /// PERMANENT and two opposite-order transactions livelock. When set,
+  /// each retry jitters from the just-failed attempt's own txn id:
+  /// fresh per attempt, distinct across loops, so schedules
+  /// desynchronize. Off under detection to keep its backoff schedules
+  /// (and bench baselines) byte-identical.
+  bool prevention_scopes_ = false;
 
   std::mutex mutex_;  // guards trees_
   /// Live trees by top-level child index (TransactionId path[0]), so a

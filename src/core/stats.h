@@ -33,6 +33,9 @@ namespace nestedtx {
   /* waiter victimized by another's cycle check */                        \
   X(kStatDeadlockVictimOther, deadlock_victims_other)                     \
   X(kStatLockTimeouts, lock_timeouts)                                     \
+  /* requesters killed by a prevention protocol (wait-die / no-wait);    \
+     detected-cycle victims stay under deadlocks */                      \
+  X(kStatPreventionAborts, prevention_aborts)                             \
   X(kStatLocksInherited, locks_inherited)                                 \
   X(kStatVersionsDiscarded, versions_discarded)                           \
   /* cv notify_all calls made by the release path */                      \
@@ -102,15 +105,48 @@ class EngineStats {
   }
 
   /// Bump `c` by one with a plain load+store on the stripe instead of an
-  /// atomic RMW. An uncontended fetch_add still costs a full locked op
-  /// (~7ns here) — most of a seqlock lane's budget — while a relaxed
-  /// load+store is ~1ns. The trade: when more threads than stripes
-  /// collide on a stripe, concurrent Bumps can drop an increment.
-  /// Reserved for the lock-word fast-lane counters, which Snapshot()
-  /// already documents as monitoring-grade; exact whenever each stripe
-  /// has a single writer (so all single-threaded tests stay exact).
+  /// atomic RMW where that is provably lossless. An uncontended
+  /// fetch_add still costs a full locked op (~7ns here) — most of a
+  /// seqlock lane's budget — while a relaxed load+store is ~1ns. The
+  /// load+store pair is only exact with a single writer, so each stripe
+  /// tracks its owning thread slot: the first Bump claims the stripe,
+  /// the sole claimant keeps the cheap pair, and the moment a second
+  /// slot arrives the stripe degrades permanently to fetch_add for
+  /// every writer.
+  ///
+  /// Counter contract (this is the documented fix for the old
+  /// unconditional load+store, which under stripe sharing both dropped
+  /// increments continuously AND could publish a stale value over
+  /// another thread's later increments — a non-monotone regression in
+  /// exported Prometheus counters): a stripe degrades at most ONCE in
+  /// its lifetime, and only the owner's single in-flight load+store
+  /// pair can overlap that transition. Total error is therefore bounded
+  /// by the increments landing inside one such pair per stripe — after
+  /// the transition every write is an atomic RMW, so counters are exact
+  /// and monotone from then on. Single-threaded runs (and any run where
+  /// no two thread slots collide mod kStripes) never degrade and stay
+  /// exact throughout. observability_test proves both properties under
+  /// TSan.
   void Bump(StatCounter c) {
-    std::atomic<uint64_t>& cell = stripes_[ThreadSlot() & (kStripes - 1)].c[c];
+    const uint32_t slot = ThreadSlot();
+    Stripe& s = stripes_[slot & (kStripes - 1)];
+    uint32_t owner = s.owner.load(std::memory_order_relaxed);
+    if (owner != slot) {
+      if (owner == kStripeUnowned &&
+          s.owner.compare_exchange_strong(owner, slot,
+                                          std::memory_order_relaxed)) {
+        // Claimed: fall through to the single-writer pair.
+      } else {
+        // Second writer (or already shared): degrade the stripe for
+        // good and take the exact path.
+        if (owner != kStripeShared) {
+          s.owner.store(kStripeShared, std::memory_order_relaxed);
+        }
+        s.c[c].fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    std::atomic<uint64_t>& cell = s.c[c];
     cell.store(cell.load(std::memory_order_relaxed) + 1,
                std::memory_order_relaxed);
   }
@@ -135,8 +171,15 @@ class EngineStats {
  private:
   static constexpr size_t kStripes = 8;  // power of two
 
+  /// Stripe ownership states for Bump's single-writer fast pair. A
+  /// stripe moves kStripeUnowned -> (claiming slot) -> kStripeShared,
+  /// monotonically: once shared, never cheap again.
+  static constexpr uint32_t kStripeUnowned = ~0u;
+  static constexpr uint32_t kStripeShared = ~0u - 1;
+
   struct alignas(64) Stripe {
     std::atomic<uint64_t> c[kStatNumCounters]{};
+    std::atomic<uint32_t> owner{kStripeUnowned};
   };
 
   // Process-wide monotone thread slot; a thread keeps its slot for life,

@@ -55,6 +55,18 @@ const char* VictimPolicyName(VictimPolicy policy) {
   return "?";
 }
 
+const char* CcProtocolName(CcProtocol protocol) {
+  switch (protocol) {
+    case CcProtocol::kDetect:
+      return "detect";
+    case CcProtocol::kWaitDie:
+      return "wait-die";
+    case CcProtocol::kNoWait:
+      return "no-wait";
+  }
+  return "?";
+}
+
 Transaction::Transaction(TransactionManager* manager, Transaction* parent,
                          TransactionId id)
     : manager_(manager), parent_(parent), id_(std::move(id)) {
@@ -497,15 +509,15 @@ Status Transaction::Abort() {
   if (span_sampled_) span_.commit_request_ns = abort_req_ns;
 
   const CcMode mode = manager_->options().cc_mode;
-  // Wait-graph hygiene on teardown. Every WaitForGrant exit already
+  // Wait-registry hygiene on teardown. Every WaitForGrant exit already
   // clears its own entry via a scoped guard (grant, deadlock, timeout,
   // injected fault all audited), so this is a defensive sweep for a
-  // handle torn down with an operation's result still in flight. Skipped
-  // for flat-mode subtransactions, whose waits run under the shared
+  // handle torn down with an operation's result still in flight (a no-op
+  // for prevention policies, which keep no registry). Skipped for
+  // flat-mode subtransactions, whose waits run under the shared
   // top-level id that siblings may still be using.
-  if (manager_->options().deadlock_policy == DeadlockPolicy::kWaitForGraph &&
-      (parent_ == nullptr || mode != CcMode::kFlat2PL)) {
-    manager_->locks().wait_graph().RemoveWait(id_);
+  if (parent_ == nullptr || mode != CcMode::kFlat2PL) {
+    manager_->locks().policy().OnTransactionEnd(id_);
   }
   EngineTraceRecorder* rec = manager_->locks().trace_recorder();
   if (rec != nullptr) rec->Emit(Event::Abort(id_));

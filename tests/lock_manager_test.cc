@@ -413,5 +413,79 @@ TEST(LockManagerWakeClassificationTest, PlainDeadlineStillReportsTimeout) {
   lm.OnAbort(T({1}), std::vector<std::string>{"k"});
 }
 
+// Regression for the victim x doom race: a waiter victimized by another
+// transaction's cycle check while an ancestor abort dooms its subtree in
+// the same window must report exactly ONE terminal status — Deadlock,
+// per the pinned precedence (victim > doomed) — and bump exactly one
+// counter. Pre-fix, the doomed branches returned Cancelled without
+// consuming a delivered victim mark: which status (and counter) won
+// depended on which notification the wake saw first, and the losing
+// victim mark was silently erased by the cleanup sweep. The wait_wakeup
+// delay stretches the wake-to-classify window to 300ms so the doom
+// deterministically lands while the victim mark is already in flight.
+TEST(LockManagerWakeClassificationTest, VictimBeatsDoomInSameWindow) {
+  EngineOptions o;
+  o.lock_timeout = std::chrono::seconds(5);
+  o.victim_policy = VictimPolicy::kYoungestSubtree;
+  EngineStats stats;
+  LockManager lm(o, &stats);
+  const LockManager::Mutator set1 = [](std::optional<int64_t>) {
+    return std::optional<int64_t>(1);
+  };
+
+  const TransactionId deep = T({0, 0});  // depth 2: the chosen victim
+  const TransactionId q = T({1});
+
+  ASSERT_TRUE(lm.AcquireWrite(deep, "a", set1).ok());
+  ASSERT_TRUE(lm.AcquireWrite(q, "b", set1).ok());
+
+  // Every wake inside the wait loop sleeps 300ms before classifying.
+  FailPoints::Seed(1);
+  FailPoints::Config cfg;
+  cfg.delay_one_in = 1;
+  cfg.delay_us = 300000;
+  FailPoints::Enable(FailPoints::kWaitWakeup, cfg);
+
+  Status deep_status;
+  std::thread td([&] {
+    deep_status = lm.AcquireWrite(deep, "b", set1).status();
+    // The real transaction layer aborts a victim, releasing its locks.
+    if (!deep_status.ok()) {
+      lm.OnAbort(deep, std::vector<std::string>{"a", "b"});
+    }
+  });
+  ASSERT_TRUE(WaitUntil([&] { return lm.wait_graph().NumWaiters() == 1; }));
+
+  // q closes the cycle: deep is marked victim and woken, entering its
+  // stretched classification window; q parks waiting for deep's locks.
+  Status q_status;
+  std::thread tq([&] {
+    q_status = lm.AcquireWrite(q, "a", set1).status();
+  });
+  // Land the doom squarely inside deep's 300ms window, while the victim
+  // mark is still undelivered — the racing pair the precedence pins.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  lm.DoomSubtree(T({0}));
+  td.join();
+  tq.join();
+  FailPoints::DisableAll();
+
+  EXPECT_TRUE(deep_status.IsDeadlock()) << deep_status.ToString();
+  EXPECT_TRUE(q_status.ok()) << q_status.ToString();
+  // Exactly one terminal outcome on exactly one counter: the victim
+  // path, never the cancellation path.
+  const StatsSnapshot snap = stats.Snapshot();
+  EXPECT_EQ(snap.deadlock_victims_other, 1u);
+  EXPECT_EQ(snap.waits_cancelled, 0u);
+  EXPECT_EQ(snap.deadlocks,
+            snap.deadlock_victims_self + snap.deadlock_victims_other);
+  // No residue: the consumed victim mark also cleared the registration.
+  EXPECT_EQ(lm.wait_graph().NumWaiters(), 0u);
+  lm.ClearDoom(T({0}));
+  EXPECT_EQ(lm.DoomedRootCount(), 0u);
+  EXPECT_EQ(lm.ParkedWaiterCount(), 0u);
+  lm.OnAbort(q, std::vector<std::string>{"a", "b"});
+}
+
 }  // namespace
 }  // namespace nestedtx
